@@ -1,0 +1,30 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures at a
+reduced scale (so the whole harness runs in minutes on one machine) and
+prints the resulting rows, so the output can be compared side by side with
+the paper's numbers (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentScale
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> ExperimentScale:
+    """The cluster/workload scale used by the scheduling benchmarks."""
+    return ExperimentScale(name="bench", num_nodes=24, duration_hours=12.0, seed=17)
+
+
+@pytest.fixture(scope="session")
+def bench_spot_scale() -> float:
+    """Spot submission multiplier used when a single level is benchmarked."""
+    return 2.0
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,29 @@
+"""Benchmark E-F10: regenerate Figure 10 (forecasting accuracy comparison)."""
+
+from repro.experiments.forecasting import ForecastingExperimentConfig, run_forecasting_experiment
+
+from .conftest import run_once
+
+
+def test_bench_fig10_forecasting_accuracy(benchmark):
+    config = ForecastingExperimentConfig(history_weeks=6, stride=8, orglinear_epochs=40)
+    result = run_once(benchmark, run_forecasting_experiment, config)
+    print()
+    print(result.report())
+    evaluations = result.evaluations
+    assert set(evaluations) == {
+        "OrgLinear",
+        "Transformer",
+        "Informer",
+        "Autoformer",
+        "FEDformer",
+        "DLinear",
+        "DeepAR",
+    }
+    # Paper shape (Figure 10): OrgLinear achieves the lowest point errors.
+    org = evaluations["OrgLinear"]
+    for name, ev in evaluations.items():
+        if name == "OrgLinear":
+            continue
+        assert org.mae <= ev.mae * 1.15, f"OrgLinear should not lose clearly to {name}"
+    assert org.mape < 0.15

@@ -1,0 +1,23 @@
+"""Benchmark E-F5: hourly eviction-rate series under a static-quota policy."""
+
+from repro.experiments import run_eviction_observation
+from repro.experiments.config import ExperimentScale
+
+from .conftest import run_once
+
+
+def test_bench_fig5_weekly_eviction_series(benchmark):
+    scale = ExperimentScale(name="fig5", num_nodes=20, duration_hours=12.0, seed=29)
+    series = run_once(benchmark, run_eviction_observation, scale, weeks=2, spot_scale=3.0)
+    print()
+    for week, s in series.items():
+        print(
+            f"Figure 5 week {week}: eviction max={s.max_rate * 100:.1f}% "
+            f"median={s.median_rate * 100:.1f}% min={s.min_rate * 100:.1f}%"
+        )
+    # Paper shape: pronounced hour-to-hour variation with high peaks under
+    # the legacy first-fit policy, and near-zero troughs.
+    for s in series.values():
+        assert s.max_rate >= s.median_rate >= s.min_rate
+        assert s.min_rate <= 0.05
+    assert max(s.max_rate for s in series.values()) > 0.1

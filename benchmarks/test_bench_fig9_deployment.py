@@ -1,0 +1,41 @@
+"""Benchmark E-F9: production deployment before/after and monthly benefit."""
+
+from repro.experiments import paper_reference_benefit, run_deployment_experiment
+
+from .conftest import run_once
+
+
+def test_bench_fig9_deployment(benchmark):
+    result = run_once(
+        benchmark,
+        run_deployment_experiment,
+        fleet_scale=0.006,
+        duration_hours=8.0,
+        spot_scale=2.0,
+    )
+    print()
+    print(result.report())
+    assert len(result.per_model) == 4
+    # Paper shape: GFS should not increase the eviction rate on any model
+    # partition, and the fleet-wide allocation-weighted metrics move in the
+    # right direction on aggregate.
+    improved = sum(
+        1
+        for outcome in result.per_model.values()
+        if outcome.eviction_after <= outcome.eviction_before + 0.02
+    )
+    assert improved >= 3
+    assert result.benefit is not None
+
+
+def test_bench_fig9_paper_reference_benefit(benchmark):
+    benefit = run_once(benchmark, paper_reference_benefit)
+    print()
+    print(
+        f"Monthly benefit at the paper's reported operating points: "
+        f"${benefit.monthly_gain_usd:,.0f} "
+        f"(allocation ${benefit.allocation_gain_usd:,.0f} + "
+        f"eviction ${benefit.eviction_gain_usd:,.0f})"
+    )
+    # Same order of magnitude as the paper's $459,715 / month.
+    assert 100_000 < benefit.monthly_gain_usd < 5_000_000

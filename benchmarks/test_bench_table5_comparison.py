@@ -1,0 +1,43 @@
+"""Benchmark E-T5: regenerate Table 5 (scheduler comparison, three workloads)."""
+
+from repro.experiments import run_table5
+from repro.workloads import SpotWorkloadLevel
+
+from .conftest import run_once
+
+
+def test_bench_table5_low_workload(benchmark, bench_scale):
+    result = run_once(
+        benchmark, run_table5, bench_scale, levels=[SpotWorkloadLevel.LOW]
+    )
+    print()
+    print(result.report())
+    rows = result.per_workload["low"].rows()
+    assert set(rows) == {"YARN-CS", "Chronus", "Lyra", "FGD", "GFS"}
+    # HP tasks are never evicted under any scheduler.
+    assert all(r["hp_jct"] > 0 for r in rows.values())
+
+
+def test_bench_table5_medium_workload(benchmark, bench_scale):
+    result = run_once(
+        benchmark, run_table5, bench_scale, levels=[SpotWorkloadLevel.MEDIUM]
+    )
+    print()
+    print(result.report())
+    rows = result.per_workload["medium"].rows()
+    # Headline qualitative claims of Table 5 at the medium workload:
+    # GFS keeps HP queuing low and evicts less than the greedy preempting
+    # baselines (YARN-CS, FGD).
+    assert rows["GFS"]["hp_jqt"] <= min(rows["YARN-CS"]["hp_jqt"], rows["FGD"]["hp_jqt"]) + 120.0
+    assert rows["GFS"]["spot_eviction"] <= rows["YARN-CS"]["spot_eviction"] + 0.05
+    assert rows["GFS"]["spot_eviction"] <= rows["FGD"]["spot_eviction"] + 0.05
+
+
+def test_bench_table5_high_workload(benchmark, bench_scale):
+    result = run_once(
+        benchmark, run_table5, bench_scale, levels=[SpotWorkloadLevel.HIGH]
+    )
+    print()
+    print(result.report())
+    rows = result.per_workload["high"].rows()
+    assert rows["GFS"]["spot_eviction"] <= 0.25

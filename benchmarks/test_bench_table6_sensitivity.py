@@ -1,0 +1,27 @@
+"""Benchmark E-T6: regenerate Table 6 (guarantee-hours sensitivity)."""
+
+from repro.experiments import run_table6
+
+from .conftest import run_once
+
+
+def test_bench_table6_guarantee_hours(benchmark, bench_scale, bench_spot_scale):
+    result = run_once(
+        benchmark,
+        run_table6,
+        bench_scale,
+        guarantee_hours=(1.0, 2.0, 4.0),
+        spot_scale=bench_spot_scale,
+    )
+    print()
+    print(result.report())
+    rows = {h: r.as_row() for h, r in result.per_horizon.items()}
+    assert set(rows) == {1.0, 2.0, 4.0}
+    # Paper shape: HP metrics are essentially insensitive to H, and the spot
+    # eviction rate stays low for every configuration.
+    hp_jcts = [r["hp_jct"] for r in rows.values()]
+    assert max(hp_jcts) - min(hp_jcts) < 0.05 * max(hp_jcts)
+    assert all(r["spot_eviction"] < 0.2 for r in rows.values())
+    # A longer guarantee horizon reserves more, so spot queuing should not
+    # improve when moving from H=1 to H=4.
+    assert rows[4.0]["spot_jqt"] >= rows[1.0]["spot_jqt"] - 120.0

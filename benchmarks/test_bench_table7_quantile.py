@@ -1,0 +1,24 @@
+"""Benchmark E-T7: regenerate Table 7 (quantile accuracy and training time)."""
+
+from repro.experiments.forecasting import ForecastingExperimentConfig, run_forecasting_experiment
+
+from .conftest import run_once
+
+
+def test_bench_table7_quantile_accuracy(benchmark):
+    config = ForecastingExperimentConfig(
+        history_weeks=6, stride=8, orglinear_epochs=40, baselines=["DeepAR"]
+    )
+    result = run_once(benchmark, run_forecasting_experiment, config)
+    print()
+    print(result.report())
+    org = result.evaluations["OrgLinear"]
+    deepar = result.evaluations["DeepAR"]
+    # Paper shape (Table 7): OrgLinear beats DeepAR on both quantile metrics.
+    assert org.maqe_95 <= deepar.maqe_95
+    assert org.maqe_90 <= deepar.maqe_90 * 1.1
+    # Both models train within seconds at this scale; report the ratio.
+    print(
+        f"training time: OrgLinear={org.training_time:.2f}s "
+        f"DeepAR-lite={deepar.training_time:.2f}s"
+    )

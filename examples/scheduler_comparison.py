@@ -1,0 +1,42 @@
+"""Compare GFS with the four baseline schedulers on the same workload.
+
+This reproduces a miniature version of the paper's Table 5: every
+scheduler (YARN-CS, Chronus, Lyra, FGD and GFS) is run over an identical
+synthetic medium-spot workload, and the HP/spot SLO metrics are printed
+side by side.
+
+Run with:  python examples/scheduler_comparison.py [spot_scale]
+"""
+
+import sys
+
+from repro.analysis import format_scheduler_table, improvement_row
+from repro.experiments import ExperimentScale, baseline_factories, gfs_factory, run_sweep
+
+
+def main() -> None:
+    spot_scale = float(sys.argv[1]) if len(sys.argv) > 1 else 2.0
+    scale = ExperimentScale(name="example", num_nodes=32, duration_hours=16.0, seed=21)
+
+    factories = baseline_factories()
+    factories["GFS"] = gfs_factory()
+
+    print(
+        f"Running {len(factories)} schedulers on a {scale.num_nodes * scale.gpus_per_node}-GPU "
+        f"cluster, {scale.duration_hours:.0f}h workload, spot x{spot_scale:.0f} ..."
+    )
+    results = run_sweep(scale, factories, workload_name="example", spot_scale=spot_scale)
+
+    rows = results.rows()
+    print()
+    print(format_scheduler_table(rows, title="Scheduler comparison (Table 5 style)"))
+
+    improvements = improvement_row(rows)
+    if improvements:
+        print("\nGFS vs the best baseline per metric (positive = GFS better):")
+        for metric, value in improvements.items():
+            print(f"  {metric:15s} {value * 100:+.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+``pip install -e .`` (PEP 660) requires a wheel-capable setuptools; on
+offline machines without ``wheel`` installed, ``python setup.py develop``
+performs the equivalent editable install.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,79 @@
+"""Economic analysis of a deployment (the Figure 9 / $459,715 estimate)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from ..cluster import GPUModel
+from ..cluster.pricing import FleetPricing, monthly_benefit
+from ..workloads.fleet import (
+    FleetEntry,
+    POST_DEPLOYMENT_ALLOCATION,
+    POST_DEPLOYMENT_EVICTION,
+    PRE_DEPLOYMENT_EVICTION,
+    PRODUCTION_FLEET,
+    production_gpu_counts,
+)
+
+
+@dataclass
+class DeploymentBenefit:
+    """Before/after comparison of a production deployment."""
+
+    allocation_before: Dict[GPUModel, float]
+    allocation_after: Dict[GPUModel, float]
+    eviction_before: Dict[GPUModel, float]
+    eviction_after: Dict[GPUModel, float]
+    monthly_gain_usd: float
+    allocation_gain_usd: float
+    eviction_gain_usd: float
+
+    def allocation_improvement(self, model: GPUModel) -> float:
+        """Absolute allocation-rate improvement in percentage points."""
+        return (self.allocation_after[model] - self.allocation_before[model]) * 100.0
+
+    def eviction_reduction(self, model: GPUModel) -> float:
+        """Relative eviction-rate reduction (e.g. 0.678 = 67.8%)."""
+        before = self.eviction_before[model]
+        if before <= 0:
+            return 0.0
+        return (before - self.eviction_after[model]) / before
+
+
+def estimate_deployment_benefit(
+    allocation_before: Mapping[GPUModel, float] | None = None,
+    allocation_after: Mapping[GPUModel, float] | None = None,
+    eviction_before: Mapping[GPUModel, float] | None = None,
+    eviction_after: Mapping[GPUModel, float] | None = None,
+    fleet: list[FleetEntry] | None = None,
+    pricing: FleetPricing | None = None,
+) -> DeploymentBenefit:
+    """Estimate the monthly benefit of a GFS deployment over a fleet.
+
+    Defaults reproduce the paper's production deployment (Table 1 fleet,
+    Figure 9 allocation / eviction levels).
+    """
+    fleet = fleet or PRODUCTION_FLEET
+    allocation_before = dict(allocation_before or {e.model: e.allocation_rate for e in fleet})
+    allocation_after = dict(allocation_after or POST_DEPLOYMENT_ALLOCATION)
+    eviction_before = dict(eviction_before or PRE_DEPLOYMENT_EVICTION)
+    eviction_after = dict(eviction_after or POST_DEPLOYMENT_EVICTION)
+    counts = production_gpu_counts(fleet)
+    benefit = monthly_benefit(
+        counts,
+        allocation_before,
+        allocation_after,
+        eviction_before,
+        eviction_after,
+        pricing=pricing,
+    )
+    return DeploymentBenefit(
+        allocation_before=allocation_before,
+        allocation_after=allocation_after,
+        eviction_before=eviction_before,
+        eviction_after=eviction_after,
+        monthly_gain_usd=benefit["total"],
+        allocation_gain_usd=benefit["allocation_gain"],
+        eviction_gain_usd=benefit["eviction_gain"],
+    )

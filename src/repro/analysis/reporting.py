@@ -1,0 +1,92 @@
+"""Plain-text table rendering for experiment results.
+
+The benchmark harness prints the same rows the paper's tables report; this
+module keeps the formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    float_format: str = "{:,.2f}",
+) -> str:
+    """Render a simple aligned text table."""
+
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append("  ".join("-" * w for w in widths))
+    parts.extend(line(row) for row in rendered)
+    return "\n".join(parts)
+
+
+def scheduler_metrics_rows(results: Mapping[str, Mapping[str, float]]) -> List[List[object]]:
+    """Rows of the Table-5 style scheduler comparison."""
+    rows: List[List[object]] = []
+    for scheduler, metrics in results.items():
+        rows.append(
+            [
+                scheduler,
+                metrics.get("hp_jct_p99", float("nan")),
+                metrics.get("hp_jct", float("nan")),
+                metrics.get("hp_jqt", float("nan")),
+                metrics.get("spot_jct", float("nan")),
+                metrics.get("spot_jqt", float("nan")),
+                metrics.get("spot_eviction", float("nan")) * 100.0,
+            ]
+        )
+    return rows
+
+
+SCHEDULER_TABLE_HEADERS = [
+    "Scheduler",
+    "HP JCT-p99(s)",
+    "HP JCT(s)",
+    "HP JQT(s)",
+    "Spot JCT(s)",
+    "Spot JQT(s)",
+    "Spot e(%)",
+]
+
+
+def format_scheduler_table(results: Mapping[str, Mapping[str, float]], title: str) -> str:
+    return format_table(SCHEDULER_TABLE_HEADERS, scheduler_metrics_rows(results), title=title)
+
+
+def improvement_row(results: Mapping[str, Mapping[str, float]], ours: str = "GFS") -> Dict[str, float]:
+    """Relative improvement of ``ours`` over the best baseline per metric."""
+    if ours not in results:
+        return {}
+    improvements: Dict[str, float] = {}
+    for metric in ("hp_jct", "hp_jqt", "spot_jct", "spot_jqt", "spot_eviction"):
+        baseline_values = [
+            m[metric] for name, m in results.items() if name != ours and metric in m
+        ]
+        if not baseline_values:
+            continue
+        best_baseline = min(baseline_values)
+        ours_value = results[ours].get(metric)
+        if ours_value is None or best_baseline <= 0:
+            continue
+        improvements[metric] = (best_baseline - ours_value) / best_baseline
+    return improvements

@@ -1,0 +1,205 @@
+"""Cluster state: a collection of nodes plus global accounting.
+
+The cluster exposes the queries schedulers need (idle GPUs, spot usage,
+per-model views) and the mutation primitives the simulator uses to place,
+finish and evict tasks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .gpu import GPUModel
+from .node import Node
+from .task import PodPlacement, Task, TaskState, TaskType
+
+
+@dataclass
+class ClusterStats:
+    """Aggregate counters the SQA feedback loop and reports consume."""
+
+    total_gpus: float = 0.0
+    idle_gpus: float = 0.0
+    hp_gpus: float = 0.0
+    spot_gpus: float = 0.0
+    running_hp_tasks: int = 0
+    running_spot_tasks: int = 0
+    successful_spot_runs: int = 0
+    evicted_spot_runs: int = 0
+
+    @property
+    def allocation_rate(self) -> float:
+        if self.total_gpus <= 0:
+            return 0.0
+        return (self.total_gpus - self.idle_gpus) / self.total_gpus
+
+
+class Cluster:
+    """A set of nodes, optionally spanning several GPU models."""
+
+    def __init__(self, nodes: Iterable[Node]):
+        self.nodes: List[Node] = list(nodes)
+        if not self.nodes:
+            raise ValueError("a cluster needs at least one node")
+        self._node_index: Dict[str, Node] = {n.node_id: n for n in self.nodes}
+        if len(self._node_index) != len(self.nodes):
+            raise ValueError("duplicate node ids in cluster")
+        #: running task id -> Task
+        self.running_tasks: Dict[str, Task] = {}
+        #: historical counters for the preemption-cost denominator (Eq. 18/19)
+        self.successful_spot_runs: int = 0
+        self.evicted_spot_runs: int = 0
+        #: cumulative GPU-seconds of execution, per node, for the usage term
+        self.node_gpu_seconds: Dict[str, float] = {n.node_id: 0.0 for n in self.nodes}
+
+    # ------------------------------------------------------------------
+    # Lookup helpers
+    # ------------------------------------------------------------------
+    def node(self, node_id: str) -> Node:
+        return self._node_index[node_id]
+
+    def nodes_for_model(self, model: Optional[GPUModel]) -> List[Node]:
+        """Nodes compatible with ``model`` (all nodes when model is None)."""
+        if model is None:
+            return list(self.nodes)
+        return [n for n in self.nodes if n.gpu_model is model]
+
+    @property
+    def gpu_models(self) -> List[GPUModel]:
+        seen: List[GPUModel] = []
+        for node in self.nodes:
+            if node.gpu_model not in seen:
+                seen.append(node.gpu_model)
+        return seen
+
+    # ------------------------------------------------------------------
+    # Capacity accounting
+    # ------------------------------------------------------------------
+    def total_gpus(self, model: Optional[GPUModel] = None) -> float:
+        return float(sum(n.total_gpus for n in self.nodes_for_model(model)))
+
+    def idle_gpus(self, model: Optional[GPUModel] = None) -> float:
+        return float(sum(n.free_capacity for n in self.nodes_for_model(model)))
+
+    def allocated_gpus(self, model: Optional[GPUModel] = None) -> float:
+        return float(sum(n.allocated_gpus for n in self.nodes_for_model(model)))
+
+    def spot_gpus(self, model: Optional[GPUModel] = None) -> float:
+        return float(sum(n.spot_gpus for n in self.nodes_for_model(model)))
+
+    def hp_gpus(self, model: Optional[GPUModel] = None) -> float:
+        return float(sum(n.hp_gpus for n in self.nodes_for_model(model)))
+
+    def allocation_rate(self, model: Optional[GPUModel] = None) -> float:
+        total = self.total_gpus(model)
+        if total <= 0:
+            return 0.0
+        return self.allocated_gpus(model) / total
+
+    def stats(self, model: Optional[GPUModel] = None) -> ClusterStats:
+        """A snapshot of aggregate cluster statistics."""
+        running = [
+            t
+            for t in self.running_tasks.values()
+            if model is None or t.gpu_model is None or t.gpu_model is model
+        ]
+        return ClusterStats(
+            total_gpus=self.total_gpus(model),
+            idle_gpus=self.idle_gpus(model),
+            hp_gpus=self.hp_gpus(model),
+            spot_gpus=self.spot_gpus(model),
+            running_hp_tasks=sum(1 for t in running if t.is_hp),
+            running_spot_tasks=sum(1 for t in running if t.is_spot),
+            successful_spot_runs=self.successful_spot_runs,
+            evicted_spot_runs=self.evicted_spot_runs,
+        )
+
+    def running_spot_tasks(self, model: Optional[GPUModel] = None) -> List[Task]:
+        return [
+            t
+            for t in self.running_tasks.values()
+            if t.is_spot and (model is None or t.gpu_model is None or t.gpu_model is model)
+        ]
+
+    def spot_gpus_with_guarantee(self, hours: float, now: float) -> float:
+        """GPUs held by spot tasks allocated with a guarantee of >= ``hours``.
+
+        This is ``S_a`` in Eq. (10): spot capacity already committed at the
+        requested guarantee level.  Together with the idle capacity ``S_0``
+        it bounds the quota by what is physically available right now.
+        """
+        total = 0.0
+        for task in self.running_spot_tasks():
+            if task.guaranteed_hours + 1e-9 >= hours:
+                total += task.total_gpus
+        return total
+
+    # ------------------------------------------------------------------
+    # Placement mutations (driven by the simulator)
+    # ------------------------------------------------------------------
+    def place_task(self, task: Task, placements: Sequence[PodPlacement]) -> None:
+        """Materialise a placement decision: allocate GPUs on every node."""
+        if task.task_id in self.running_tasks:
+            raise ValueError(f"task {task.task_id} is already placed")
+        applied: List[str] = []
+        try:
+            for pod in placements:
+                node = self.node(pod.node_id)
+                node.allocate_pod(task)
+                applied.append(pod.node_id)
+        except Exception:
+            # Roll back partial placement so the cluster stays consistent.
+            for node_id in applied:
+                self.node(node_id).release_task(task.task_id)
+            raise
+        task.placements = list(placements)
+        self.running_tasks[task.task_id] = task
+
+    def remove_task(self, task: Task) -> None:
+        """Release every GPU the task holds (used on finish and eviction)."""
+        for pod in task.placements:
+            self.node(pod.node_id).release_task(task.task_id)
+        # A task may have pods on the same node; release_task is idempotent.
+        self.running_tasks.pop(task.task_id, None)
+        task.placements = []
+
+    def record_execution(self, task: Task, runtime: float) -> None:
+        """Accumulate GPU-seconds of execution on the nodes the task used."""
+        if runtime <= 0:
+            return
+        per_pod = task.gpus_per_pod * runtime
+        for pod in task.placements:
+            self.node_gpu_seconds[pod.node_id] = (
+                self.node_gpu_seconds.get(pod.node_id, 0.0) + per_pod
+            )
+
+    def record_spot_outcome(self, evicted: bool) -> None:
+        """Update the historical spot success/eviction counters (G and F)."""
+        if evicted:
+            self.evicted_spot_runs += 1
+        else:
+            self.successful_spot_runs += 1
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def homogeneous(
+        cls,
+        num_nodes: int,
+        gpus_per_node: int = 8,
+        gpu_model: GPUModel = GPUModel.A100,
+        cluster_label: str = "sim",
+    ) -> "Cluster":
+        """A homogeneous cluster, e.g. the 287-node A100 cluster of Section 4.1."""
+        from .node import make_nodes
+
+        return cls(make_nodes(num_nodes, gpu_model, gpus_per_node, cluster_label))
+
+    def describe(self) -> str:
+        parts = []
+        for model in self.gpu_models:
+            nodes = self.nodes_for_model(model)
+            parts.append(f"{model.value}: {len(nodes)} nodes x {nodes[0].num_gpus} GPUs")
+        return ", ".join(parts)

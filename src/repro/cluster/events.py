@@ -1,0 +1,53 @@
+"""Event types exchanged between the simulator and schedulers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional
+
+from .task import PodPlacement, Task
+
+
+class EventKind(int, Enum):
+    """Discrete-event kinds, ordered by processing priority at equal times."""
+
+    TASK_FINISH = 0      # releases resources first so arrivals can reuse them
+    TASK_ARRIVAL = 1
+    QUOTA_TICK = 2
+    SAMPLE = 3
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled simulator event (heap entry)."""
+
+    time: float
+    kind: EventKind
+    seq: int
+    task: Optional[Task] = field(default=None, compare=False)
+    epoch: int = field(default=0, compare=False)
+
+
+@dataclass
+class SchedulingDecision:
+    """Outcome of a successful scheduling attempt for one task.
+
+    Attributes
+    ----------
+    placements:
+        One :class:`PodPlacement` per pod of the task.
+    preempted_task_ids:
+        Spot tasks that must be evicted before the placement is applied.
+    start_delay:
+        Extra seconds between the decision and actual task start (used by
+        lease-based schedulers to model lease-boundary alignment).
+    """
+
+    placements: List[PodPlacement]
+    preempted_task_ids: List[str] = field(default_factory=list)
+    start_delay: float = 0.0
+
+    @property
+    def requires_preemption(self) -> bool:
+        return bool(self.preempted_task_ids)

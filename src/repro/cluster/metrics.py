@@ -1,0 +1,145 @@
+"""Metric collection: JCT, JQT, eviction rate and allocation-rate series.
+
+Definitions follow Section 4.2 of the paper:
+
+* **JCT** — finish time minus submission time, averaged over a task set.
+* **JQT** — cumulative time spent in the waiting queue (all segments for
+  preempted spot tasks).
+* **Eviction rate** ``e`` — number of evictions divided by number of runs
+  of spot tasks (HP tasks are never evicted, so their rate is 0).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .task import Task, TaskType
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (q in [0, 100]) without numpy."""
+    if not values:
+        return float("nan")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return ordered[low]
+    weight = rank - low
+    return ordered[low] * (1.0 - weight) + ordered[high] * weight
+
+
+def mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else float("nan")
+
+
+@dataclass
+class TaskClassMetrics:
+    """Aggregated metrics for one task class (HP or spot)."""
+
+    count: int = 0
+    jct_mean: float = float("nan")
+    jct_p99: float = float("nan")
+    jqt_mean: float = float("nan")
+    jqt_p99: float = float("nan")
+    eviction_rate: float = 0.0
+    total_evictions: int = 0
+    total_runs: int = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "jct_mean": self.jct_mean,
+            "jct_p99": self.jct_p99,
+            "jqt_mean": self.jqt_mean,
+            "jqt_p99": self.jqt_p99,
+            "eviction_rate": self.eviction_rate,
+        }
+
+
+@dataclass
+class SimulationMetrics:
+    """Full result bundle returned by a simulation run."""
+
+    hp: TaskClassMetrics = field(default_factory=TaskClassMetrics)
+    spot: TaskClassMetrics = field(default_factory=TaskClassMetrics)
+    allocation_rate_mean: float = float("nan")
+    allocation_rate_series: List[float] = field(default_factory=list)
+    allocation_sample_times: List[float] = field(default_factory=list)
+    makespan: float = 0.0
+    unfinished_tasks: int = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "hp": self.hp.as_dict(),
+            "spot": self.spot.as_dict(),
+            "allocation_rate_mean": self.allocation_rate_mean,
+            "makespan": self.makespan,
+            "unfinished_tasks": self.unfinished_tasks,
+        }
+
+    def summary(self) -> str:
+        """A compact, human-readable summary string."""
+        return (
+            f"HP:   JCT={self.hp.jct_mean:,.1f}s  JCT-p99={self.hp.jct_p99:,.1f}s  "
+            f"JQT={self.hp.jqt_mean:,.1f}s\n"
+            f"SPOT: JCT={self.spot.jct_mean:,.1f}s  JQT={self.spot.jqt_mean:,.1f}s  "
+            f"eviction={self.spot.eviction_rate * 100:.2f}%\n"
+            f"allocation rate={self.allocation_rate_mean * 100:.2f}%  "
+            f"makespan={self.makespan:,.0f}s  unfinished={self.unfinished_tasks}"
+        )
+
+
+def compute_class_metrics(tasks: Iterable[Task]) -> TaskClassMetrics:
+    """Aggregate metrics over completed tasks of one class."""
+    tasks = list(tasks)
+    finished = [t for t in tasks if t.finish_time is not None]
+    jcts = [t.jct for t in finished if t.jct is not None]
+    jqts = [t.jqt for t in finished]
+    total_runs = sum(t.run_count for t in tasks)
+    total_evictions = sum(t.eviction_count for t in tasks)
+    eviction_rate = total_evictions / total_runs if total_runs else 0.0
+    return TaskClassMetrics(
+        count=len(finished),
+        jct_mean=mean(jcts),
+        jct_p99=percentile(jcts, 99),
+        jqt_mean=mean(jqts),
+        jqt_p99=percentile(jqts, 99),
+        eviction_rate=eviction_rate,
+        total_evictions=total_evictions,
+        total_runs=total_runs,
+    )
+
+
+def compute_metrics(
+    tasks: Sequence[Task],
+    allocation_series: Optional[Sequence[float]] = None,
+    allocation_times: Optional[Sequence[float]] = None,
+    makespan: float = 0.0,
+) -> SimulationMetrics:
+    """Build a :class:`SimulationMetrics` bundle from finished simulation state."""
+    hp_tasks = [t for t in tasks if t.task_type is TaskType.HP]
+    spot_tasks = [t for t in tasks if t.task_type is TaskType.SPOT]
+    allocation_series = list(allocation_series or [])
+    metrics = SimulationMetrics(
+        hp=compute_class_metrics(hp_tasks),
+        spot=compute_class_metrics(spot_tasks),
+        allocation_rate_mean=mean(allocation_series) if allocation_series else float("nan"),
+        allocation_rate_series=allocation_series,
+        allocation_sample_times=list(allocation_times or []),
+        makespan=makespan,
+        unfinished_tasks=sum(1 for t in tasks if t.finish_time is None),
+    )
+    return metrics
+
+
+def improvement(baseline: float, value: float) -> float:
+    """Relative improvement of ``value`` over ``baseline`` (positive = better/lower)."""
+    if baseline == 0:
+        return 0.0
+    return (baseline - value) / baseline

@@ -1,0 +1,213 @@
+"""Node model: a machine with a fixed set of GPU cards.
+
+Nodes track per-card allocations, the split of allocated GPUs between HP
+and spot tasks (used by the co-location score), and an eviction history
+(used by the eviction-awareness score and the circuit breaker).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from .gpu import EPSILON, GPUDevice, GPUModel
+from .task import Task, TaskType
+
+
+@dataclass
+class Node:
+    """A single worker node with ``num_gpus`` cards of one GPU model."""
+
+    node_id: str
+    gpu_model: GPUModel
+    num_gpus: int = 8
+    cluster_label: str = "default"
+
+    gpus: List[GPUDevice] = field(default_factory=list)
+    #: task_id -> list of (gpu index, fraction) shares held on this node
+    task_shares: Dict[str, List[Tuple[int, float]]] = field(default_factory=dict)
+    #: task_id -> TaskType, for fast HP/spot accounting
+    task_types: Dict[str, TaskType] = field(default_factory=dict)
+    #: timestamps of spot evictions that happened on this node
+    eviction_history: Deque[float] = field(default_factory=deque)
+    #: incrementally maintained GPU capacity held per task type
+    _type_gpus: Dict[TaskType, float] = field(default_factory=dict)
+    #: cached capacity figures, refreshed after every allocate/release
+    _idle_cache: int = 0
+    _free_cache: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.num_gpus < 1:
+            raise ValueError("a node must have at least one GPU")
+        if not self.gpus:
+            self.gpus = [GPUDevice(index=i, model=self.gpu_model) for i in range(self.num_gpus)]
+        self._type_gpus = {TaskType.HP: 0.0, TaskType.SPOT: 0.0}
+        self._refresh_capacity()
+
+    def _refresh_capacity(self) -> None:
+        """Recompute cached idle/free figures (called after every mutation)."""
+        self._idle_cache = sum(1 for g in self.gpus if g.is_idle)
+        self._free_cache = sum(g.free_fraction for g in self.gpus)
+
+    # ------------------------------------------------------------------
+    # Capacity queries
+    # ------------------------------------------------------------------
+    @property
+    def total_gpus(self) -> int:
+        return self.num_gpus
+
+    @property
+    def idle_gpus(self) -> int:
+        """Number of completely idle cards."""
+        return self._idle_cache
+
+    @property
+    def free_capacity(self) -> float:
+        """Total free GPU capacity including fractional remainders."""
+        return self._free_cache
+
+    @property
+    def allocated_gpus(self) -> float:
+        """Total allocated GPU capacity (fractional)."""
+        return self.num_gpus - self._free_cache
+
+    @property
+    def allocation_rate(self) -> float:
+        """Fraction of the node's GPU capacity currently allocated."""
+        return self.allocated_gpus / self.num_gpus if self.num_gpus else 0.0
+
+    def allocated_gpus_by_type(self, task_type: TaskType) -> float:
+        """GPU capacity held on this node by tasks of ``task_type``."""
+        return max(0.0, self._type_gpus.get(task_type, 0.0))
+
+    @property
+    def hp_gpus(self) -> float:
+        return self.allocated_gpus_by_type(TaskType.HP)
+
+    @property
+    def spot_gpus(self) -> float:
+        return self.allocated_gpus_by_type(TaskType.SPOT)
+
+    def running_task_ids(self, task_type: Optional[TaskType] = None) -> List[str]:
+        """Ids of tasks holding GPUs on this node, optionally filtered by type."""
+        if task_type is None:
+            return list(self.task_shares)
+        return [tid for tid in self.task_shares if self.task_types.get(tid) is task_type]
+
+    # ------------------------------------------------------------------
+    # Fit / allocate / release
+    # ------------------------------------------------------------------
+    def can_fit_pod(self, gpus_per_pod: float) -> bool:
+        """Whether one pod of ``gpus_per_pod`` GPUs fits on this node right now."""
+        if gpus_per_pod < 1.0 - EPSILON:
+            return any(g.can_fit(gpus_per_pod) for g in self.gpus)
+        return self.idle_gpus >= int(round(gpus_per_pod))
+
+    def max_pods(self, gpus_per_pod: float) -> int:
+        """Maximum number of pods of the given size that fit simultaneously."""
+        if gpus_per_pod < 1.0 - EPSILON:
+            return sum(int(g.free_fraction / gpus_per_pod + EPSILON) for g in self.gpus)
+        whole = int(round(gpus_per_pod))
+        return self.idle_gpus // whole if whole else 0
+
+    def allocate_pod(self, task: Task, gpus_per_pod: Optional[float] = None) -> Tuple[int, ...]:
+        """Allocate one pod of ``task`` to this node and return the card indices used.
+
+        Raises
+        ------
+        ValueError
+            If the pod does not fit.
+        """
+        g = task.gpus_per_pod if gpus_per_pod is None else gpus_per_pod
+        if g < 1.0 - EPSILON:
+            # Fractional request: pick the busiest card that still fits
+            # (best-fit within the node limits fragmentation).
+            candidates = [dev for dev in self.gpus if dev.can_fit(g)]
+            if not candidates:
+                raise ValueError(f"node {self.node_id} cannot fit fractional pod of {g}")
+            device = min(candidates, key=lambda d: d.free_fraction)
+            device.allocate(task.task_id, g)
+            used = ((device.index, g),)
+        else:
+            whole = int(round(g))
+            idle = [dev for dev in self.gpus if dev.is_idle]
+            if len(idle) < whole:
+                raise ValueError(
+                    f"node {self.node_id} has {len(idle)} idle GPUs, pod needs {whole}"
+                )
+            chosen = idle[:whole]
+            for dev in chosen:
+                dev.allocate(task.task_id, 1.0)
+            used = tuple((dev.index, 1.0) for dev in chosen)
+
+        shares = self.task_shares.setdefault(task.task_id, [])
+        shares.extend(used)
+        self.task_types[task.task_id] = task.task_type
+        self._type_gpus[task.task_type] = self._type_gpus.get(task.task_type, 0.0) + sum(
+            fraction for _, fraction in used
+        )
+        self._refresh_capacity()
+        return tuple(index for index, _ in used)
+
+    def release_task(self, task_id: str) -> float:
+        """Release every GPU share held by ``task_id`` on this node."""
+        freed = 0.0
+        for device in self.gpus:
+            freed += device.release(task_id)
+        self.task_shares.pop(task_id, None)
+        task_type = self.task_types.pop(task_id, None)
+        if task_type is not None:
+            self._type_gpus[task_type] = max(0.0, self._type_gpus.get(task_type, 0.0) - freed)
+        self._refresh_capacity()
+        return freed
+
+    # ------------------------------------------------------------------
+    # Eviction history (Score 3 / circuit breaker)
+    # ------------------------------------------------------------------
+    def record_eviction(self, timestamp: float) -> None:
+        """Record that a spot task was evicted from this node at ``timestamp``."""
+        self.eviction_history.append(timestamp)
+
+    def eviction_count_since(self, now: float, window: float) -> int:
+        """Number of recorded evictions in the trailing ``window`` seconds."""
+        cutoff = now - window
+        # Old entries are dropped lazily to keep the deque bounded, but never
+        # entries that are still inside the requested window.
+        retention = now - max(window, 90 * 86400.0)
+        while self.eviction_history and self.eviction_history[0] < retention:
+            self.eviction_history.popleft()
+        return sum(1 for t in self.eviction_history if t >= cutoff)
+
+    def snapshot(self) -> Dict[str, float]:
+        """A dictionary snapshot used by reporting and tests."""
+        return {
+            "node_id": self.node_id,
+            "model": self.gpu_model.value,
+            "total_gpus": self.num_gpus,
+            "idle_gpus": self.idle_gpus,
+            "allocated": self.allocated_gpus,
+            "hp_gpus": self.hp_gpus,
+            "spot_gpus": self.spot_gpus,
+            "allocation_rate": self.allocation_rate,
+        }
+
+
+def make_nodes(
+    count: int,
+    gpu_model: GPUModel,
+    gpus_per_node: int = 8,
+    cluster_label: str = "default",
+    prefix: Optional[str] = None,
+) -> List[Node]:
+    """Create ``count`` homogeneous nodes of the given model."""
+    prefix = prefix or f"{gpu_model.value.lower()}-{cluster_label}"
+    return [
+        Node(
+            node_id=f"{prefix}-{i:04d}",
+            gpu_model=gpu_model,
+            num_gpus=gpus_per_node,
+            cluster_label=cluster_label,
+        )
+        for i in range(count)
+    ]

@@ -1,0 +1,285 @@
+"""Discrete-event GPU cluster simulator.
+
+The simulator drives a scheduler (GFS or any baseline) over a task trace.
+It owns the event loop, queue/metrics accounting, preemption mechanics and
+checkpoint-aware restarts; schedulers only make placement decisions.
+
+Scheduler interface (duck-typed, see :class:`repro.schedulers.base.Scheduler`):
+
+* ``sort_queue(pending, now)`` — ordering of the waiting queue.
+* ``try_schedule(task, cluster, now)`` — returns a
+  :class:`~repro.cluster.events.SchedulingDecision` or ``None``.
+* ``on_task_submit / on_task_start / on_task_finish / on_task_evicted`` —
+  optional notification hooks.
+* ``on_tick(cluster, now, pending)`` — periodic hook (spot-quota updates).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .cluster import Cluster
+from .events import Event, EventKind, SchedulingDecision
+from .metrics import SimulationMetrics, compute_metrics
+from .task import RunLog, Task, TaskState
+
+
+@dataclass
+class SimulatorConfig:
+    """Tunable knobs of the simulation engine."""
+
+    #: grace period granted to evicted spot tasks before the preemptor starts
+    preemption_grace_period: float = 30.0
+    #: restart overhead paid by an evicted spot task when it runs again
+    #: (environment re-setup and checkpoint reload)
+    restart_overhead: float = 300.0
+    #: periodic tick used for quota updates and allocation-rate sampling
+    tick_interval: float = 300.0
+    #: hard cap on simulated time (None = run until the trace drains)
+    max_time: Optional[float] = None
+    #: sample the allocation rate at every tick
+    sample_allocation: bool = True
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulator reaches an inconsistent state."""
+
+
+class ClusterSimulator:
+    """Event-driven simulator binding a scheduler to a cluster and a trace."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        scheduler,
+        config: Optional[SimulatorConfig] = None,
+    ):
+        self.cluster = cluster
+        self.scheduler = scheduler
+        self.config = config or SimulatorConfig()
+        self.now: float = 0.0
+        self._events: List[Event] = []
+        self._seq = itertools.count()
+        self.pending: List[Task] = []
+        self.all_tasks: List[Task] = []
+        #: run epoch per task; finish events from stale epochs are ignored
+        self._epochs: Dict[str, int] = {}
+        self.allocation_samples: List[float] = []
+        self.allocation_sample_times: List[float] = []
+        self._finished_count = 0
+
+    # ------------------------------------------------------------------
+    # Event plumbing
+    # ------------------------------------------------------------------
+    def _push(self, time: float, kind: EventKind, task: Optional[Task] = None, epoch: int = 0) -> None:
+        heapq.heappush(self._events, Event(time=time, kind=kind, seq=next(self._seq), task=task, epoch=epoch))
+
+    def submit(self, task: Task) -> None:
+        """Register a task arrival event at its submission time."""
+        self.all_tasks.append(task)
+        self._epochs[task.task_id] = 0
+        self._push(task.submit_time, EventKind.TASK_ARRIVAL, task)
+
+    def submit_all(self, tasks: Sequence[Task]) -> None:
+        for task in tasks:
+            self.submit(task)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationMetrics:
+        """Run the simulation until the trace drains (or ``max_time`` hits)."""
+        if not self._events:
+            raise SimulationError("no tasks submitted")
+        first_time = min(e.time for e in self._events)
+        self.now = first_time
+        if hasattr(self.scheduler, "on_simulation_start"):
+            self.scheduler.on_simulation_start(self.cluster, self.now)
+        if self.config.tick_interval > 0:
+            self._push(first_time + self.config.tick_interval, EventKind.QUOTA_TICK)
+
+        while self._events:
+            event = heapq.heappop(self._events)
+            if self.config.max_time is not None and event.time > self.config.max_time:
+                break
+            self.now = event.time
+            if event.kind is EventKind.TASK_ARRIVAL:
+                self._handle_arrival(event.task)
+            elif event.kind is EventKind.TASK_FINISH:
+                self._handle_finish(event.task, event.epoch)
+            elif event.kind is EventKind.QUOTA_TICK:
+                self._handle_tick()
+            # SAMPLE events are folded into ticks.
+
+        return self.collect_metrics()
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+    def _handle_arrival(self, task: Task) -> None:
+        task.state = TaskState.PENDING
+        task.queue_enter_time = self.now
+        self.pending.append(task)
+        if hasattr(self.scheduler, "on_task_submit"):
+            self.scheduler.on_task_submit(task, self.cluster, self.now)
+        # Arrivals only trigger a scheduling attempt for the new task; the
+        # full queue is re-examined on completions and periodic ticks.  This
+        # keeps the event loop close to linear in the number of events.
+        self._schedule_pending(only=task)
+
+    def _handle_finish(self, task: Task, epoch: int) -> None:
+        if task is None or self._epochs.get(task.task_id) != epoch:
+            return  # stale finish event from a run that was preempted
+        if task.state is not TaskState.RUNNING:
+            return
+        runtime = self.now - task.run_logs[-1].start
+        task.run_logs[-1].end = self.now
+        task.run_logs[-1].checkpoint_index = len(task.checkpoints) - 1
+        task.completed_work = task.duration
+        task.state = TaskState.COMPLETED
+        task.finish_time = self.now
+        self.cluster.record_execution(task, runtime)
+        self.cluster.remove_task(task)
+        if task.is_spot:
+            self.cluster.record_spot_outcome(evicted=False)
+        self._finished_count += 1
+        if hasattr(self.scheduler, "on_task_finish"):
+            self.scheduler.on_task_finish(task, self.cluster, self.now)
+        self._schedule_pending()
+
+    def _handle_tick(self) -> None:
+        if self.config.sample_allocation:
+            self.allocation_samples.append(self.cluster.allocation_rate())
+            self.allocation_sample_times.append(self.now)
+        if hasattr(self.scheduler, "on_tick"):
+            self.scheduler.on_tick(self.cluster, self.now, list(self.pending))
+        pending_before = len(self.pending)
+        self._schedule_pending()
+        # Keep ticking while there is still work anywhere in the system, but
+        # stop once the only remaining work is pending tasks that can never
+        # be scheduled (nothing running, no future arrivals/finishes, and the
+        # tick made no progress) — otherwise the loop would tick forever.
+        has_other_events = any(e.kind is not EventKind.QUOTA_TICK for e in self._events)
+        stuck = (
+            bool(self.pending)
+            and not self.cluster.running_tasks
+            and not has_other_events
+            and len(self.pending) == pending_before
+        )
+        if (self.pending or self.cluster.running_tasks or has_other_events) and not stuck:
+            self._push(self.now + self.config.tick_interval, EventKind.QUOTA_TICK)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def _schedule_pending(self, only: Optional[Task] = None) -> None:
+        """Offer pending tasks to the scheduler in its preferred order.
+
+        When ``only`` is given, just that task is offered (used on arrivals).
+        """
+        if not self.pending:
+            return
+        if only is not None:
+            ordered = [only] if only in self.pending else []
+        else:
+            ordered = self.scheduler.sort_queue(list(self.pending), self.now)
+        scheduled: List[Task] = []
+        blocked_spot = False
+        blocked_hp = False
+        blocks = getattr(self.scheduler, "blocks_on_failure", None)
+        for task in ordered:
+            if task not in self.pending:
+                continue
+            if (blocked_spot and task.is_spot) or (blocked_hp and task.is_hp):
+                continue
+            decision = self.scheduler.try_schedule(task, self.cluster, self.now)
+            if decision is None:
+                if blocks is not None and blocks(task):
+                    # FCFS semantics: the head of this class blocks the rest.
+                    if task.is_spot:
+                        blocked_spot = True
+                    else:
+                        blocked_hp = True
+                continue
+            self._apply_decision(task, decision)
+            scheduled.append(task)
+        for task in scheduled:
+            if task in self.pending:
+                self.pending.remove(task)
+
+    def _apply_decision(self, task: Task, decision: SchedulingDecision) -> None:
+        delay = max(0.0, decision.start_delay)
+        if decision.preempted_task_ids:
+            delay += self.config.preemption_grace_period
+            for victim_id in decision.preempted_task_ids:
+                victim = self.cluster.running_tasks.get(victim_id)
+                if victim is None:
+                    raise SimulationError(f"preemption target {victim_id} is not running")
+                if victim.is_hp:
+                    raise SimulationError("HP tasks must never be preempted")
+                self._evict(victim)
+        self._start_task(task, decision.placements, start_delay=delay)
+
+    def _start_task(self, task: Task, placements, start_delay: float = 0.0) -> None:
+        start = self.now + start_delay
+        self.cluster.place_task(task, placements)
+        task.total_queue_time += max(0.0, self.now - task.queue_enter_time)
+        overhead = self.config.restart_overhead if task.eviction_count > 0 else 0.0
+        task.run_logs.append(RunLog(start=start))
+        task.state = TaskState.RUNNING
+        if task.first_start_time is None:
+            task.first_start_time = start
+        self._epochs[task.task_id] = self._epochs.get(task.task_id, 0) + 1
+        finish_time = start + task.remaining_work + overhead
+        self._push(finish_time, EventKind.TASK_FINISH, task, epoch=self._epochs[task.task_id])
+        if hasattr(self.scheduler, "on_task_start"):
+            self.scheduler.on_task_start(task, self.cluster, self.now)
+
+    def _evict(self, task: Task) -> None:
+        """Evict a running spot task: roll back to its last checkpoint and re-queue."""
+        run = task.run_logs[-1]
+        elapsed = max(0.0, self.now - run.start)
+        progress = task.completed_work + elapsed
+        ckpt_idx = task.highest_checkpoint_before(progress)
+        saved = task.checkpoints[ckpt_idx] if ckpt_idx >= 0 else 0.0
+        task.completed_work = min(task.duration, max(task.completed_work, saved))
+        run.end = self.now
+        run.evicted = True
+        run.checkpoint_index = ckpt_idx
+        task.eviction_count += 1
+        self.cluster.record_execution(task, elapsed)
+        for pod in task.placements:
+            self.cluster.node(pod.node_id).record_eviction(self.now)
+        self.cluster.remove_task(task)
+        self.cluster.record_spot_outcome(evicted=True)
+        task.state = TaskState.PENDING
+        task.queue_enter_time = self.now
+        self.pending.append(task)
+        if hasattr(self.scheduler, "on_task_evicted"):
+            self.scheduler.on_task_evicted(task, self.cluster, self.now)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def collect_metrics(self) -> SimulationMetrics:
+        return compute_metrics(
+            self.all_tasks,
+            allocation_series=self.allocation_samples,
+            allocation_times=self.allocation_sample_times,
+            makespan=self.now - (min(t.submit_time for t in self.all_tasks) if self.all_tasks else 0.0),
+        )
+
+
+def run_simulation(
+    cluster: Cluster,
+    scheduler,
+    tasks: Sequence[Task],
+    config: Optional[SimulatorConfig] = None,
+) -> SimulationMetrics:
+    """Convenience wrapper: build a simulator, submit tasks and run to completion."""
+    simulator = ClusterSimulator(cluster, scheduler, config)
+    simulator.submit_all(tasks)
+    return simulator.run()

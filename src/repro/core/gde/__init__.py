@@ -1,0 +1,76 @@
+"""GPU Demand Estimator (GDE): OrgLinear, forecasting baselines and the
+online estimator used inside the scheduler."""
+
+from .baselines import (
+    AttentionLiteConfig,
+    AutoformerLiteModel,
+    DLinearConfig,
+    DLinearModel,
+    DeepARLiteConfig,
+    DeepARLiteModel,
+    FEDformerLiteModel,
+    FORECASTING_BASELINES,
+    InformerLiteModel,
+    PreviousWeekPeakModel,
+    SeasonalNaiveModel,
+    TransformerLiteModel,
+)
+from .dataset import ForecastSample, WindowDataset, build_window_dataset, train_test_split_dataset
+from .decomposition import decompose, decompose_batch, moving_average
+from .estimator import GPUDemandEstimator, normal_quantile
+from .features import BusinessVocabulary, TemporalFeature, temporal_features
+from .forecaster import (
+    OnlineForecaster,
+    OrgLinearOnlineForecaster,
+    PreviousWeekPeakForecaster,
+    SeasonalQuantileForecaster,
+)
+from .metrics import ForecastEvaluation, evaluate_forecast, mae, mape, maqe, mse, normal_icdf, rmse
+from .orglinear import OrgLinear, OrgLinearConfig
+from .training import AdamOptimizer, gaussian_nll, gaussian_nll_grads, softmax, softplus
+
+__all__ = [
+    "AdamOptimizer",
+    "AttentionLiteConfig",
+    "AutoformerLiteModel",
+    "BusinessVocabulary",
+    "DLinearConfig",
+    "DLinearModel",
+    "DeepARLiteConfig",
+    "DeepARLiteModel",
+    "FEDformerLiteModel",
+    "FORECASTING_BASELINES",
+    "ForecastEvaluation",
+    "ForecastSample",
+    "GPUDemandEstimator",
+    "InformerLiteModel",
+    "OnlineForecaster",
+    "OrgLinear",
+    "OrgLinearConfig",
+    "OrgLinearOnlineForecaster",
+    "PreviousWeekPeakForecaster",
+    "PreviousWeekPeakModel",
+    "SeasonalNaiveModel",
+    "SeasonalQuantileForecaster",
+    "TemporalFeature",
+    "TransformerLiteModel",
+    "WindowDataset",
+    "build_window_dataset",
+    "decompose",
+    "decompose_batch",
+    "evaluate_forecast",
+    "gaussian_nll",
+    "gaussian_nll_grads",
+    "mae",
+    "mape",
+    "maqe",
+    "moving_average",
+    "mse",
+    "normal_icdf",
+    "normal_quantile",
+    "rmse",
+    "softmax",
+    "softplus",
+    "temporal_features",
+    "train_test_split_dataset",
+]

@@ -1,0 +1,156 @@
+"""Sliding-window forecast datasets built from per-organization demand series."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from .features import BusinessVocabulary, temporal_features
+
+
+@dataclass
+class ForecastSample:
+    """One training/evaluation sample of the forecasting problem."""
+
+    org: str
+    history: np.ndarray          # shape (L,)
+    target: np.ndarray           # shape (H,)
+    start_hour: int              # absolute hour index of the first target step
+    business_index: np.ndarray   # integer indices into the business vocabulary
+
+
+@dataclass
+class WindowDataset:
+    """A batched sliding-window dataset over several organizations."""
+
+    input_length: int
+    horizon: int
+    samples: List[ForecastSample] = field(default_factory=list)
+    vocabulary: BusinessVocabulary = field(default_factory=BusinessVocabulary)
+    #: per-organization normalisation statistics (mean, std)
+    norm: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+    #: day indices treated as holidays by the temporal feature extractor
+    holidays: Set[int] = field(default_factory=set)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def arrays(self) -> Dict[str, np.ndarray]:
+        """Stack every sample into dense arrays for vectorised training."""
+        if not self.samples:
+            raise ValueError("dataset is empty")
+        X = np.stack([s.history for s in self.samples])
+        Y = np.stack([s.target for s in self.samples])
+        start_hours = np.array([s.start_hour for s in self.samples], dtype=int)
+        temporal = temporal_features(start_hours, holidays=self.holidays or None)
+        business = np.stack([s.business_index for s in self.samples])
+        orgs = np.array([s.org for s in self.samples])
+        return {
+            "X": X,
+            "Y": Y,
+            "temporal": temporal,
+            "business": business,
+            "orgs": orgs,
+            "start_hours": start_hours,
+        }
+
+    # ------------------------------------------------------------------
+    def normalise_value(self, org: str, value: np.ndarray) -> np.ndarray:
+        mean, std = self.norm.get(org, (0.0, 1.0))
+        return (np.asarray(value, dtype=float) - mean) / std
+
+    def denormalise_mean(self, org: str, value: np.ndarray) -> np.ndarray:
+        mean, std = self.norm.get(org, (0.0, 1.0))
+        return np.asarray(value, dtype=float) * std + mean
+
+    def denormalise_std(self, org: str, value: np.ndarray) -> np.ndarray:
+        _, std = self.norm.get(org, (0.0, 1.0))
+        return np.asarray(value, dtype=float) * std
+
+
+def build_window_dataset(
+    history: Mapping[str, np.ndarray],
+    attributes: Mapping[str, Mapping[str, str]],
+    input_length: int = 168,
+    horizon: int = 24,
+    stride: int = 6,
+    vocabulary: Optional[BusinessVocabulary] = None,
+    norm: Optional[Dict[str, Tuple[float, float]]] = None,
+    holidays: Optional[Set[int]] = None,
+) -> WindowDataset:
+    """Build a sliding-window dataset from per-organization hourly series.
+
+    Parameters
+    ----------
+    history:
+        organization name -> hourly GPU demand series.
+    attributes:
+        organization name -> business attribute mapping (cluster, model...).
+    norm:
+        Optional pre-computed normalisation statistics (reused for test sets
+        so train and test share the same scaling).
+    """
+    vocabulary = vocabulary or BusinessVocabulary().fit(list(attributes.values()))
+    dataset = WindowDataset(
+        input_length=input_length,
+        horizon=horizon,
+        vocabulary=vocabulary,
+        holidays=set(holidays or ()),
+    )
+
+    for org, series in history.items():
+        series = np.asarray(series, dtype=float)
+        if norm is not None and org in norm:
+            dataset.norm[org] = norm[org]
+        else:
+            std = float(series.std()) or 1.0
+            dataset.norm[org] = (float(series.mean()), std)
+        attrs = attributes.get(org, {"organization": org})
+        business_index = vocabulary.encode(attrs)
+        limit = len(series) - input_length - horizon
+        if limit < 0:
+            continue
+        for start in range(0, limit + 1, stride):
+            end = start + input_length
+            dataset.samples.append(
+                ForecastSample(
+                    org=org,
+                    history=series[start:end],
+                    target=series[end : end + horizon],
+                    start_hour=end,
+                    business_index=business_index,
+                )
+            )
+    return dataset
+
+
+def train_test_split_dataset(
+    dataset: WindowDataset, test_fraction: float = 0.25
+) -> Tuple[WindowDataset, WindowDataset]:
+    """Chronological split: the last ``test_fraction`` of windows per org is test."""
+    by_org: Dict[str, List[ForecastSample]] = {}
+    for sample in dataset.samples:
+        by_org.setdefault(sample.org, []).append(sample)
+    train = WindowDataset(
+        dataset.input_length,
+        dataset.horizon,
+        vocabulary=dataset.vocabulary,
+        norm=dict(dataset.norm),
+        holidays=set(dataset.holidays),
+    )
+    test = WindowDataset(
+        dataset.input_length,
+        dataset.horizon,
+        vocabulary=dataset.vocabulary,
+        norm=dict(dataset.norm),
+        holidays=set(dataset.holidays),
+    )
+    for org, samples in by_org.items():
+        samples = sorted(samples, key=lambda s: s.start_hour)
+        cut = max(1, int(round(len(samples) * (1.0 - test_fraction))))
+        train.samples.extend(samples[:cut])
+        test.samples.extend(samples[cut:])
+    return train, test

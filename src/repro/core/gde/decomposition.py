@@ -1,0 +1,63 @@
+"""Adaptive temporal pattern decomposition (Section 3.2.1).
+
+OrgLinear separates a demand series into a trend component (moving average
+with reflection padding, Eq. 1) and a cyclical component (the residual,
+Eq. 2).  The same decomposition is reused by the DLinear baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def moving_average(series: np.ndarray, kernel_size: int) -> np.ndarray:
+    """Moving average with reflection padding (the K^d_MA kernel of Eq. 1).
+
+    Reflection padding keeps the smoothed series the same length as the
+    input and reduces boundary effects at both ends.
+    """
+    series = np.asarray(series, dtype=float)
+    if series.ndim != 1:
+        raise ValueError("moving_average expects a 1-D series")
+    if kernel_size < 1:
+        raise ValueError("kernel_size must be >= 1")
+    if kernel_size == 1 or series.size == 0:
+        return series.copy()
+    kernel_size = min(kernel_size, max(1, series.size))
+    left = kernel_size // 2
+    right = kernel_size - 1 - left
+    padded = np.concatenate(
+        [
+            series[1 : left + 1][::-1] if left > 0 else series[:0],
+            series,
+            series[-right - 1 : -1][::-1] if right > 0 else series[:0],
+        ]
+    )
+    # If the series is shorter than the pad we may come up short; fall back
+    # to edge padding for the remainder.
+    deficit = series.size + kernel_size - 1 - padded.size
+    if deficit > 0:
+        padded = np.concatenate([np.full(deficit, series[0]), padded])
+    window = np.ones(kernel_size) / kernel_size
+    smoothed = np.convolve(padded, window, mode="valid")
+    return smoothed[: series.size]
+
+
+def decompose(series: np.ndarray, kernel_size: int = 25) -> Tuple[np.ndarray, np.ndarray]:
+    """Split ``series`` into ``(trend, cyclical)`` components (Eqs. 1-2)."""
+    trend = moving_average(series, kernel_size)
+    cyclical = np.asarray(series, dtype=float) - trend
+    return trend, cyclical
+
+
+def decompose_batch(batch: np.ndarray, kernel_size: int = 25) -> Tuple[np.ndarray, np.ndarray]:
+    """Decompose every row of a 2-D batch of series."""
+    batch = np.asarray(batch, dtype=float)
+    if batch.ndim != 2:
+        raise ValueError("decompose_batch expects a 2-D array (samples x length)")
+    trends = np.empty_like(batch)
+    for i in range(batch.shape[0]):
+        trends[i] = moving_average(batch[i], kernel_size)
+    return trends, batch - trends

@@ -1,0 +1,76 @@
+"""GPU Demand Estimator (GDE): the forecasting module of GFS.
+
+The GDE maintains per-organization HP demand history, delegates forecasting
+to a pluggable online forecaster and exposes the probabilistic queries the
+Spot Quota Allocator consumes: per-organization Gaussian forecasts and the
+ICDF upper bounds used by the inventory estimation of Eq. (9).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from .forecaster import OnlineForecaster, SeasonalQuantileForecaster
+
+
+def normal_quantile(p: float) -> float:
+    """Standard-normal quantile via the inverse error function."""
+    if not 0.0 < p < 1.0:
+        raise ValueError("guarantee rate p must be in (0, 1)")
+    from scipy.special import erfinv
+
+    return math.sqrt(2.0) * float(erfinv(2.0 * p - 1.0))
+
+
+class GPUDemandEstimator:
+    """Forecasts per-organization HP GPU demand distributions."""
+
+    def __init__(self, forecaster: Optional[OnlineForecaster] = None):
+        self.forecaster = forecaster or SeasonalQuantileForecaster()
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    # History management
+    # ------------------------------------------------------------------
+    def fit(self, history: Mapping[str, np.ndarray]) -> "GPUDemandEstimator":
+        """Load historical per-organization hourly demand and fit the forecaster."""
+        self.forecaster.fit(history)
+        self._fitted = True
+        return self
+
+    def observe(self, org: str, hour_index: int, demand: float) -> None:
+        """Feed one observed demand point back into the forecaster."""
+        self.forecaster.observe(org, hour_index, demand)
+
+    def organizations(self) -> list[str]:
+        return self.forecaster.organizations()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def predict(self, org: str, start_hour: int, horizon: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Gaussian (mu, sigma) forecast for one organization."""
+        if not self._fitted:
+            raise RuntimeError("GPUDemandEstimator.fit must be called first")
+        return self.forecaster.predict(org, start_hour, horizon)
+
+    def upper_bound(self, org: str, start_hour: int, horizon: int, p: float) -> np.ndarray:
+        """ICDF upper-bound sequence ``y_hat_{o|p}[1:H]`` of Section 3.3.1."""
+        mu, sigma = self.predict(org, start_hour, horizon)
+        z = normal_quantile(p)
+        return mu + z * np.maximum(sigma, 0.0)
+
+    def peak_demand(self, start_hour: int, horizon: int, p: float) -> Dict[str, float]:
+        """Per-organization peak of the upper-bound sequence over the horizon."""
+        return {
+            org: float(np.max(self.upper_bound(org, start_hour, horizon, p)))
+            for org in self.organizations()
+        }
+
+    def aggregate_peak_demand(self, start_hour: int, horizon: int, p: float) -> float:
+        """Spatial aggregation: sum of per-organization peak demands."""
+        peaks = self.peak_demand(start_hour, horizon, p)
+        return float(sum(peaks.values()))

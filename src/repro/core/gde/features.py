@@ -1,0 +1,82 @@
+"""Temporal and business contextual features for demand forecasting.
+
+Section 3.2 of the paper encodes the hour of day, weekday and holiday flag
+of each timestamp through embedding layers (Eq. 3), and projects business
+attributes (cluster, GPU model, ...) through learnable embeddings combined
+with attention (Eq. 4).  This module provides the index extraction and the
+vocabulary bookkeeping those embeddings need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set
+
+import numpy as np
+
+HOURS_PER_DAY = 24
+DAYS_PER_WEEK = 7
+
+
+@dataclass
+class TemporalFeature:
+    """Categorical indices for one timestamp: hour, weekday, holiday flag."""
+
+    hour: int
+    weekday: int
+    holiday: int
+
+    @classmethod
+    def from_hour_index(cls, hour_index: int, holidays: Optional[Set[int]] = None) -> "TemporalFeature":
+        """Derive features from an absolute hour index (0 = simulation start)."""
+        hour = hour_index % HOURS_PER_DAY
+        day = hour_index // HOURS_PER_DAY
+        weekday = day % DAYS_PER_WEEK
+        holiday = 1 if holidays and day in holidays else 0
+        return cls(hour=hour, weekday=weekday, holiday=holiday)
+
+
+def temporal_features(
+    hour_indices: Sequence[int], holidays: Optional[Set[int]] = None
+) -> np.ndarray:
+    """Integer feature matrix of shape ``(len(hour_indices), 3)``."""
+    rows = [TemporalFeature.from_hour_index(h, holidays) for h in hour_indices]
+    return np.array([[r.hour, r.weekday, r.holiday] for r in rows], dtype=int)
+
+
+@dataclass
+class BusinessVocabulary:
+    """Vocabulary of business attribute values, one per attribute field.
+
+    Unknown values met at prediction time map to a reserved index 0.
+    """
+
+    fields: List[str] = field(default_factory=lambda: ["organization", "cluster", "gpu_model"])
+    vocab: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name in self.fields:
+            self.vocab.setdefault(name, {"<unk>": 0})
+
+    def fit(self, attribute_rows: Sequence[Mapping[str, str]]) -> "BusinessVocabulary":
+        """Register every attribute value seen in ``attribute_rows``."""
+        for row in attribute_rows:
+            for name in self.fields:
+                value = str(row.get(name, "<unk>"))
+                table = self.vocab[name]
+                if value not in table:
+                    table[value] = len(table)
+        return self
+
+    def size(self, field_name: str) -> int:
+        return len(self.vocab[field_name])
+
+    def encode(self, attributes: Mapping[str, str]) -> np.ndarray:
+        """Integer indices for one organization's attributes."""
+        return np.array(
+            [self.vocab[name].get(str(attributes.get(name, "<unk>")), 0) for name in self.fields],
+            dtype=int,
+        )
+
+    def encode_many(self, rows: Sequence[Mapping[str, str]]) -> np.ndarray:
+        return np.stack([self.encode(r) for r in rows], axis=0)

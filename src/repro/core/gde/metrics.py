@@ -1,0 +1,98 @@
+"""Forecast accuracy metrics used in Figure 10 and Table 7.
+
+Point metrics (MAE, MSE, RMSE, MAPE) are computed on the mean prediction;
+p-MAQE (mean absolute quantile error) measures the average absolute error
+between the predicted p-quantile and the observed value, normalised by the
+mean observed demand so the figures are comparable across organizations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+#: Standard-normal quantiles used to turn (mu, sigma) into ICDF bounds.
+_SQRT2 = math.sqrt(2.0)
+
+
+def normal_icdf(p: float, mu: np.ndarray, sigma: np.ndarray) -> np.ndarray:
+    """Inverse CDF of a Gaussian, vectorised over ``mu`` and ``sigma``."""
+    if not 0.0 < p < 1.0:
+        raise ValueError("quantile level must be in (0, 1)")
+    from scipy.special import erfinv  # local import keeps scipy optional at import time
+
+    z = _SQRT2 * erfinv(2.0 * p - 1.0)
+    return mu + z * sigma
+
+
+def mae(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    return float(np.mean(np.abs(np.asarray(y_true) - np.asarray(y_pred))))
+
+
+def mse(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    return float(np.mean((np.asarray(y_true) - np.asarray(y_pred)) ** 2))
+
+
+def rmse(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    return float(math.sqrt(mse(y_true, y_pred)))
+
+
+def mape(y_true: np.ndarray, y_pred: np.ndarray, eps: float = 1e-6) -> float:
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    denom = np.maximum(np.abs(y_true), eps)
+    return float(np.mean(np.abs(y_true - y_pred) / denom))
+
+
+def maqe(y_true: np.ndarray, quantile_pred: np.ndarray) -> float:
+    """Mean absolute quantile error normalised by the mean observed value."""
+    y_true = np.asarray(y_true, dtype=float)
+    quantile_pred = np.asarray(quantile_pred, dtype=float)
+    scale = max(1e-6, float(np.mean(np.abs(y_true))))
+    return float(np.mean(np.abs(quantile_pred - y_true)) / scale)
+
+
+@dataclass
+class ForecastEvaluation:
+    """Bundle of accuracy metrics for one forecaster."""
+
+    mae: float
+    mse: float
+    rmse: float
+    mape: float
+    maqe_90: float
+    maqe_95: float
+    training_time: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "MAE": self.mae,
+            "MSE": self.mse,
+            "RMSE": self.rmse,
+            "MAPE": self.mape,
+            "0.9-MAQE": self.maqe_90,
+            "0.95-MAQE": self.maqe_95,
+            "training_time_s": self.training_time,
+        }
+
+
+def evaluate_forecast(
+    y_true: np.ndarray,
+    mu: np.ndarray,
+    sigma: np.ndarray,
+    training_time: float = 0.0,
+) -> ForecastEvaluation:
+    """Evaluate mean and quantile accuracy of a probabilistic forecast."""
+    sigma = np.maximum(np.asarray(sigma, dtype=float), 1e-6)
+    return ForecastEvaluation(
+        mae=mae(y_true, mu),
+        mse=mse(y_true, mu),
+        rmse=rmse(y_true, mu),
+        mape=mape(y_true, mu),
+        maqe_90=maqe(y_true, normal_icdf(0.9, mu, sigma)),
+        maqe_95=maqe(y_true, normal_icdf(0.95, mu, sigma)),
+        training_time=training_time,
+    )

@@ -1,0 +1,254 @@
+"""OrgLinear: the paper's probabilistic GPU-demand forecasting model.
+
+OrgLinear (Section 3.2) combines
+
+* adaptive trend/cyclical decomposition of the demand history (Eqs. 1-2),
+* temporal-feature embeddings for hour / weekday / holiday (Eq. 3),
+* business-feature embeddings combined with a (simplified) attention over
+  attribute embeddings (Eq. 4),
+* two parallel linear heads for the cyclical and trend components whose sum
+  is the predicted mean (Eqs. 5-6), and
+* a heteroscedastic variance head with softplus stabilisation (Eq. 7),
+
+trained end to end by maximum likelihood on a Gaussian output (Eq. 8).
+
+The model is implemented directly in NumPy with analytic gradients: every
+component is linear in its inputs (given the embedding lookups), so
+backpropagation reduces to a handful of matrix products.  The attention
+over business attributes is simplified to a learnable softmax weighting of
+the attribute embeddings; DESIGN.md records this substitution.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .dataset import WindowDataset
+from .decomposition import decompose_batch
+from .training import (
+    AdamOptimizer,
+    gaussian_nll,
+    gaussian_nll_grads,
+    minibatches,
+    softmax,
+    softplus,
+    softplus_grad,
+)
+
+
+@dataclass
+class OrgLinearConfig:
+    """Hyper-parameters of OrgLinear."""
+
+    input_length: int = 168
+    horizon: int = 24
+    temporal_embedding_dim: int = 4
+    business_embedding_dim: int = 6
+    decomposition_kernel: int = 25
+    learning_rate: float = 5e-3
+    epochs: int = 60
+    batch_size: int = 64
+    min_sigma: float = 1e-3
+    seed: int = 0
+
+
+class OrgLinear:
+    """Probabilistic organization-level GPU demand forecaster."""
+
+    name = "OrgLinear"
+
+    def __init__(self, config: Optional[OrgLinearConfig] = None):
+        self.config = config or OrgLinearConfig()
+        self.params: Dict[str, np.ndarray] = {}
+        self.business_fields: List[str] = []
+        self.training_time: float = 0.0
+        self.loss_history: List[float] = []
+        self._rng = np.random.default_rng(self.config.seed)
+
+    # ------------------------------------------------------------------
+    # Parameter initialisation
+    # ------------------------------------------------------------------
+    def _init_params(self, dataset: WindowDataset) -> None:
+        cfg = self.config
+        rng = self._rng
+        d_t, d_b = cfg.temporal_embedding_dim, cfg.business_embedding_dim
+        self.business_fields = list(dataset.vocabulary.fields)
+        n_fields = len(self.business_fields)
+        feature_dim = cfg.input_length + d_b + 3 * d_t
+
+        def linear(shape: Tuple[int, ...]) -> np.ndarray:
+            scale = 1.0 / np.sqrt(shape[0])
+            return rng.normal(0.0, scale, size=shape)
+
+        self.params = {
+            "emb_hour": rng.normal(0, 0.1, size=(24, d_t)),
+            "emb_weekday": rng.normal(0, 0.1, size=(7, d_t)),
+            "emb_holiday": rng.normal(0, 0.1, size=(2, d_t)),
+            "attention_scores": np.zeros(n_fields),
+            "W_c": linear((feature_dim, cfg.horizon)),
+            "b_c": np.zeros(cfg.horizon),
+            "W_t": linear((feature_dim, cfg.horizon)),
+            "b_t": np.zeros(cfg.horizon),
+            "W_v": linear((feature_dim, cfg.horizon)),
+            "b_v": np.zeros(cfg.horizon),
+        }
+        for i, field_name in enumerate(self.business_fields):
+            vocab_size = dataset.vocabulary.size(field_name)
+            self.params[f"emb_biz_{i}"] = rng.normal(0, 0.1, size=(vocab_size, d_b))
+
+    # ------------------------------------------------------------------
+    # Forward pass
+    # ------------------------------------------------------------------
+    def _forward(
+        self,
+        X: np.ndarray,
+        temporal: np.ndarray,
+        business: np.ndarray,
+        cache: bool = False,
+    ):
+        cfg = self.config
+        p = self.params
+        trend, cyclical = decompose_batch(X, cfg.decomposition_kernel)
+
+        c_t = np.concatenate(
+            [
+                p["emb_hour"][temporal[:, 0]],
+                p["emb_weekday"][temporal[:, 1]],
+                p["emb_holiday"][temporal[:, 2]],
+            ],
+            axis=1,
+        )
+        weights = softmax(p["attention_scores"])
+        biz_embs = [
+            p[f"emb_biz_{i}"][business[:, i]] for i in range(len(self.business_fields))
+        ]
+        c_o = sum(w * e for w, e in zip(weights, biz_embs))
+
+        z_c = np.concatenate([cyclical, c_o, c_t], axis=1)
+        z_t = np.concatenate([trend, c_o, c_t], axis=1)
+        z_v = np.concatenate([X, c_o, c_t], axis=1)
+
+        y_c = z_c @ p["W_c"] + p["b_c"]
+        y_t = z_t @ p["W_t"] + p["b_t"]
+        mu = y_c + y_t
+        h = z_v @ p["W_v"] + p["b_v"]
+        sigma = softplus(h) + cfg.min_sigma
+
+        if not cache:
+            return mu, sigma
+        state = {
+            "z_c": z_c,
+            "z_t": z_t,
+            "z_v": z_v,
+            "h": h,
+            "weights": weights,
+            "biz_embs": biz_embs,
+            "business": business,
+            "temporal": temporal,
+        }
+        return mu, sigma, state
+
+    # ------------------------------------------------------------------
+    # Backward pass
+    # ------------------------------------------------------------------
+    def _backward(
+        self,
+        dmu: np.ndarray,
+        dsigma: np.ndarray,
+        state: Dict[str, np.ndarray],
+    ) -> Dict[str, np.ndarray]:
+        cfg = self.config
+        p = self.params
+        d_t, d_b = cfg.temporal_embedding_dim, cfg.business_embedding_dim
+        L = cfg.input_length
+        dh = dsigma * softplus_grad(state["h"])
+
+        grads: Dict[str, np.ndarray] = {
+            "W_c": state["z_c"].T @ dmu,
+            "b_c": dmu.sum(axis=0),
+            "W_t": state["z_t"].T @ dmu,
+            "b_t": dmu.sum(axis=0),
+            "W_v": state["z_v"].T @ dh,
+            "b_v": dh.sum(axis=0),
+        }
+
+        dz_c = dmu @ p["W_c"].T
+        dz_t = dmu @ p["W_t"].T
+        dz_v = dh @ p["W_v"].T
+
+        # Slices: [series (L) | business (d_b) | temporal (3 * d_t)]
+        d_co = dz_c[:, L : L + d_b] + dz_t[:, L : L + d_b] + dz_v[:, L : L + d_b]
+        d_ct = dz_c[:, L + d_b :] + dz_t[:, L + d_b :] + dz_v[:, L + d_b :]
+
+        # Temporal embeddings.
+        temporal = state["temporal"]
+        grads["emb_hour"] = np.zeros_like(p["emb_hour"])
+        grads["emb_weekday"] = np.zeros_like(p["emb_weekday"])
+        grads["emb_holiday"] = np.zeros_like(p["emb_holiday"])
+        np.add.at(grads["emb_hour"], temporal[:, 0], d_ct[:, :d_t])
+        np.add.at(grads["emb_weekday"], temporal[:, 1], d_ct[:, d_t : 2 * d_t])
+        np.add.at(grads["emb_holiday"], temporal[:, 2], d_ct[:, 2 * d_t :])
+
+        # Business embeddings and attention scores.
+        weights = state["weights"]
+        business = state["business"]
+        score_grad_raw = np.zeros_like(weights)
+        for i, field_name in enumerate(self.business_fields):
+            emb_grad = np.zeros_like(p[f"emb_biz_{i}"])
+            np.add.at(emb_grad, business[:, i], weights[i] * d_co)
+            grads[f"emb_biz_{i}"] = emb_grad
+            score_grad_raw[i] = float(np.sum(d_co * state["biz_embs"][i]))
+        # Softmax Jacobian: dL/ds = w * (a - w . a)
+        grads["attention_scores"] = weights * (score_grad_raw - float(weights @ score_grad_raw))
+        return grads
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def fit(self, dataset: WindowDataset, verbose: bool = False) -> "OrgLinear":
+        """Train the model on a window dataset (normalised per organization)."""
+        cfg = self.config
+        if dataset.input_length != cfg.input_length or dataset.horizon != cfg.horizon:
+            cfg.input_length = dataset.input_length
+            cfg.horizon = dataset.horizon
+        start = time.perf_counter()
+        self._init_params(dataset)
+        arrays = dataset.arrays()
+        orgs = arrays["orgs"]
+        X = np.stack([dataset.normalise_value(o, x) for o, x in zip(orgs, arrays["X"])])
+        Y = np.stack([dataset.normalise_value(o, y) for o, y in zip(orgs, arrays["Y"])])
+        temporal, business = arrays["temporal"], arrays["business"]
+
+        optimiser = AdamOptimizer(learning_rate=cfg.learning_rate)
+        for _ in range(cfg.epochs):
+            epoch_loss = 0.0
+            batches = 0
+            for idx in minibatches(len(dataset), cfg.batch_size, self._rng):
+                mu, sigma, state = self._forward(X[idx], temporal[idx], business[idx], cache=True)
+                loss = gaussian_nll(Y[idx], mu, sigma)
+                dmu, dsigma = gaussian_nll_grads(Y[idx], mu, sigma)
+                grads = self._backward(dmu, dsigma, state)
+                optimiser.update(self.params, grads)
+                epoch_loss += loss
+                batches += 1
+            self.loss_history.append(epoch_loss / max(1, batches))
+            if verbose:
+                print(f"epoch {len(self.loss_history):3d}  nll={self.loss_history[-1]:.4f}")
+        self.training_time = time.perf_counter() - start
+        return self
+
+    def predict(self, dataset: WindowDataset) -> Tuple[np.ndarray, np.ndarray]:
+        """Predict (mu, sigma) in original units for every sample of ``dataset``."""
+        if not self.params:
+            raise RuntimeError("model must be fitted before prediction")
+        arrays = dataset.arrays()
+        orgs = arrays["orgs"]
+        X = np.stack([dataset.normalise_value(o, x) for o, x in zip(orgs, arrays["X"])])
+        mu_n, sigma_n = self._forward(X, arrays["temporal"], arrays["business"], cache=False)
+        mu = np.stack([dataset.denormalise_mean(o, m) for o, m in zip(orgs, mu_n)])
+        sigma = np.stack([dataset.denormalise_std(o, s) for o, s in zip(orgs, sigma_n)])
+        return mu, np.maximum(sigma, 1e-6)

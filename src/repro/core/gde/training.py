@@ -1,0 +1,79 @@
+"""Training utilities shared by the NumPy forecasting models: Adam and
+mini-batch iteration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Tuple
+
+import numpy as np
+
+
+@dataclass
+class AdamOptimizer:
+    """A straightforward Adam implementation over a dict of parameters."""
+
+    learning_rate: float = 1e-2
+    beta1: float = 0.9
+    beta2: float = 0.999
+    epsilon: float = 1e-8
+    _m: Dict[str, np.ndarray] = field(default_factory=dict)
+    _v: Dict[str, np.ndarray] = field(default_factory=dict)
+    _step: int = 0
+
+    def update(self, params: Dict[str, np.ndarray], grads: Dict[str, np.ndarray]) -> None:
+        """Apply one Adam step in place."""
+        self._step += 1
+        for key, grad in grads.items():
+            if key not in params:
+                raise KeyError(f"gradient for unknown parameter {key!r}")
+            if key not in self._m:
+                self._m[key] = np.zeros_like(params[key])
+                self._v[key] = np.zeros_like(params[key])
+            self._m[key] = self.beta1 * self._m[key] + (1 - self.beta1) * grad
+            self._v[key] = self.beta2 * self._v[key] + (1 - self.beta2) * grad**2
+            m_hat = self._m[key] / (1 - self.beta1**self._step)
+            v_hat = self._v[key] / (1 - self.beta2**self._step)
+            params[key] -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+
+def minibatches(
+    n: int, batch_size: int, rng: np.random.Generator, shuffle: bool = True
+) -> Iterator[np.ndarray]:
+    """Yield index arrays covering ``range(n)`` in batches."""
+    order = rng.permutation(n) if shuffle else np.arange(n)
+    for start in range(0, n, batch_size):
+        yield order[start : start + batch_size]
+
+
+def gaussian_nll(y: np.ndarray, mu: np.ndarray, sigma: np.ndarray) -> float:
+    """Mean Gaussian negative log-likelihood (Eq. 8, up to a constant)."""
+    sigma = np.maximum(sigma, 1e-6)
+    return float(np.mean(0.5 * np.log(2 * np.pi) + np.log(sigma) + 0.5 * ((y - mu) / sigma) ** 2))
+
+
+def gaussian_nll_grads(
+    y: np.ndarray, mu: np.ndarray, sigma: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Gradients of the mean Gaussian NLL w.r.t. ``mu`` and ``sigma``."""
+    sigma = np.maximum(sigma, 1e-6)
+    count = y.size
+    dmu = (mu - y) / sigma**2 / count
+    dsigma = (1.0 / sigma - (y - mu) ** 2 / sigma**3) / count
+    return dmu, dsigma
+
+
+def softplus(x: np.ndarray) -> np.ndarray:
+    """Numerically stable softplus (Eq. 7's variance stabilisation)."""
+    return np.logaddexp(0.0, x)
+
+
+def softplus_grad(x: np.ndarray) -> np.ndarray:
+    """Derivative of softplus: the logistic sigmoid."""
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -60, 60)))
+
+
+def softmax(x: np.ndarray) -> np.ndarray:
+    shifted = x - np.max(x)
+    exp = np.exp(shifted)
+    return exp / exp.sum()

@@ -1,0 +1,77 @@
+"""Non-preemptive scheduling (Algorithm 1).
+
+Pods are placed one at a time.  For every pod the candidate set is filtered
+by resource feasibility (and, for spot tasks, by the eviction circuit
+breaker), then ranked by the lexicographic score tuple
+``<Score1, Score2, Score3>``; the top node receives the pod.  If any pod
+cannot be placed the whole task fails (gang semantics) and no state is
+mutated — the simulator only materialises returned decisions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ...cluster import Node, PodPlacement, Task
+from ...schedulers.placement import NodeView
+from .scoring import ScoringConfig, circuit_breaker_active, score_tuple
+
+
+def non_preemptive_placement(
+    task: Task,
+    nodes: Sequence[Node],
+    now: float,
+    config: ScoringConfig,
+    use_colocation: bool = True,
+    use_eviction_awareness: bool = True,
+    views: Optional[Dict[str, NodeView]] = None,
+) -> Optional[List[PodPlacement]]:
+    """Algorithm 1: place every pod of ``task`` without preempting anyone."""
+    candidates = [
+        n for n in nodes if task.gpu_model is None or n.gpu_model is task.gpu_model
+    ]
+    if not candidates:
+        return None
+    if views is None:
+        view_map = {n.node_id: NodeView.from_node(n) for n in candidates}
+    else:
+        view_map = {
+            n.node_id: views[n.node_id].clone() for n in candidates if n.node_id in views
+        }
+
+    placements: List[PodPlacement] = []
+    for _ in range(task.num_pods):
+        feasible: List[NodeView] = []
+        for view in view_map.values():
+            if not view.can_fit_pod(task.gpus_per_pod):
+                continue
+            if (
+                task.is_spot
+                and use_eviction_awareness
+                and task.gpus_per_pod >= 1.0
+                and circuit_breaker_active(view.node, now, config)
+            ):
+                continue
+            feasible.append(view)
+        if not feasible:
+            return None
+        chosen = max(
+            feasible,
+            key=lambda v: (
+                score_tuple(
+                    v.node,
+                    v.idle_gpus if task.gpus_per_pod >= 1.0 else v.free_capacity,
+                    task,
+                    now,
+                    config,
+                    use_colocation=use_colocation,
+                    use_eviction_awareness=use_eviction_awareness,
+                ),
+                v.node.node_id,
+            ),
+        )
+        chosen.assign_pod(task.gpus_per_pod)
+        placements.append(
+            PodPlacement(node_id=chosen.node.node_id, gpu_indices=(), fraction=task.gpus_per_pod)
+        )
+    return placements

@@ -1,0 +1,144 @@
+"""Preemptive scheduling (Algorithm 2).
+
+When an HP task cannot be placed without displacing anyone, the scheduler
+evaluates, per candidate node, the cheapest set of spot tasks whose
+eviction frees enough GPUs for one pod, and places pods on the nodes with
+the lowest preemption cost (Eq. 19):
+
+    cost(n_k) = (F + |T_k|) / (G + F + |T_k|)
+              + beta * sum(waste(T_k)) / (total GPU-seconds)
+
+where ``G``/``F`` are the historical numbers of successful/evicted spot
+runs, ``|T_k|`` the number of tasks preempted on the node, and waste is the
+un-checkpointed GPU-time lost by each victim (Eq. 17).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ...cluster import Cluster, Node, PodPlacement, Task
+from ...schedulers.placement import NodeView, gpus_held_on_node, spot_tasks_on_node
+
+
+@dataclass
+class PreemptionCandidate:
+    """A node together with the spot tasks that would be evicted on it."""
+
+    node: Node
+    victims: List[Task]
+    cost: float
+
+
+def node_preemption_plan(
+    node: Node,
+    view: NodeView,
+    task: Task,
+    cluster: Cluster,
+    now: float,
+    already_victims: Set[str],
+) -> Optional[List[Task]]:
+    """Smallest-waste victim set freeing one pod of ``task`` on ``node``.
+
+    The paper sorts candidates by descending waste and removes the most
+    wasteful tasks from the preemption set while the pod still fits; this
+    is equivalent to greedily adding victims in ascending-waste order until
+    the pod fits, which is what this function does.
+    """
+    if view.can_fit_pod(task.gpus_per_pod):
+        return []
+    victims: List[Task] = []
+    candidates = [
+        t
+        for t in spot_tasks_on_node(node, cluster)
+        if t.task_id not in already_victims and t.task_id not in view.preempted
+    ]
+    candidates.sort(key=lambda t: t.preemption_waste(now))
+    probe = view.clone()
+    for candidate in candidates:
+        probe.virtually_preempt(candidate)
+        victims.append(candidate)
+        if probe.can_fit_pod(task.gpus_per_pod):
+            return victims
+    return None
+
+
+def preemption_cost(
+    victims: Sequence[Task],
+    cluster: Cluster,
+    now: float,
+    beta: float,
+    total_gpu_seconds: float,
+) -> float:
+    """Eq. (19): eviction-rate impact plus usage impact of a victim set."""
+    successes = cluster.successful_spot_runs
+    failures = cluster.evicted_spot_runs
+    k = len(victims)
+    eviction_impact = (failures + k) / max(1.0, successes + failures + k)
+    waste = sum(t.preemption_waste(now) for t in victims)
+    usage_impact = beta * waste / max(1.0, total_gpu_seconds)
+    return eviction_impact + usage_impact
+
+
+def preemptive_placement(
+    task: Task,
+    nodes: Sequence[Node],
+    cluster: Cluster,
+    now: float,
+    beta: float,
+    total_gpu_seconds: float,
+    random_selection: bool = False,
+    rng: Optional[random.Random] = None,
+) -> Optional[Tuple[List[PodPlacement], List[str]]]:
+    """Algorithm 2: place every pod of an HP task, evicting cheap spot tasks.
+
+    Returns ``(placements, victim task ids)`` or ``None`` when even full
+    preemption cannot satisfy the task.  With ``random_selection`` the
+    cost model is ignored and victims/nodes are picked at random (the
+    GFS-p ablation).
+    """
+    if not task.is_hp:
+        raise ValueError("preemptive scheduling is reserved for HP tasks")
+    candidates = [
+        n for n in nodes if task.gpu_model is None or n.gpu_model is task.gpu_model
+    ]
+    if not candidates:
+        return None
+    rng = rng or random.Random(0)
+    views = {n.node_id: NodeView.from_node(n) for n in candidates}
+    placements: List[PodPlacement] = []
+    all_victims: List[Task] = []
+    victim_ids: Set[str] = set()
+
+    for _ in range(task.num_pods):
+        plans: List[PreemptionCandidate] = []
+        for node in candidates:
+            view = views[node.node_id]
+            victims = node_preemption_plan(node, view, task, cluster, now, victim_ids)
+            if victims is None:
+                continue
+            cost = preemption_cost(victims, cluster, now, beta, total_gpu_seconds)
+            plans.append(PreemptionCandidate(node=node, victims=victims, cost=cost))
+        if not plans:
+            return None
+        if random_selection:
+            chosen = rng.choice(plans)
+        else:
+            chosen = min(plans, key=lambda p: (p.cost, p.node.node_id))
+        view = views[chosen.node.node_id]
+        for victim in chosen.victims:
+            # The victim may span several nodes; free it everywhere so later
+            # pods see the reclaimed capacity.
+            for pod in victim.placements:
+                victim_view = views.get(pod.node_id)
+                if victim_view is not None and victim.task_id not in victim_view.preempted:
+                    victim_view.virtually_preempt(victim)
+            victim_ids.add(victim.task_id)
+            all_victims.append(victim)
+        view.assign_pod(task.gpus_per_pod)
+        placements.append(
+            PodPlacement(node_id=chosen.node.node_id, gpu_indices=(), fraction=task.gpus_per_pod)
+        )
+    return placements, [t.task_id for t in all_victims]

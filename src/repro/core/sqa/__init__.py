@@ -1,0 +1,12 @@
+"""Spot Quota Allocator (SQA): inventory estimation and dynamic quota control."""
+
+from .inventory import GPUInventoryEstimator, InventoryEstimate
+from .quota import QuotaDecision, SQAConfig, SpotQuotaAllocator
+
+__all__ = [
+    "GPUInventoryEstimator",
+    "InventoryEstimate",
+    "QuotaDecision",
+    "SQAConfig",
+    "SpotQuotaAllocator",
+]

@@ -1,0 +1,62 @@
+"""GPU inventory estimation (Section 3.3.1).
+
+The inventory with guaranteed duration ``H`` at guarantee rate ``p`` is the
+cluster capacity left over after reserving the aggregated per-organization
+peak upper-bound demand:
+
+    f(p, H) = max(0, C - sum_o max(y_hat_{o|p}[1:H]))
+
+(Eq. 9; the paper's ``max(C, ...)`` formulation together with the stated
+"set f to 0 when demand saturates the cluster" convention is equivalent to
+clamping at zero, which is what this implementation does.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..gde.estimator import GPUDemandEstimator
+
+
+@dataclass
+class InventoryEstimate:
+    """Result of one inventory estimation."""
+
+    capacity: float
+    aggregated_peak_demand: float
+    guarantee_rate: float
+    horizon_hours: float
+    per_org_peak: Dict[str, float]
+
+    @property
+    def available(self) -> float:
+        """GPUs that can be promised to spot tasks for the full horizon."""
+        return max(0.0, self.capacity - self.aggregated_peak_demand)
+
+
+class GPUInventoryEstimator:
+    """Temporal-spatial aggregation of demand forecasts into spot inventory."""
+
+    def __init__(self, estimator: GPUDemandEstimator, capacity: float):
+        if capacity <= 0:
+            raise ValueError("cluster capacity must be positive")
+        self.estimator = estimator
+        self.capacity = float(capacity)
+
+    def estimate(self, start_hour: int, horizon_hours: float, p: float) -> InventoryEstimate:
+        """Estimate ``f(p, H)`` starting at ``start_hour`` for ``horizon_hours``."""
+        horizon = max(1, int(round(horizon_hours)))
+        per_org = self.estimator.peak_demand(start_hour, horizon, p)
+        aggregated = float(sum(per_org.values()))
+        return InventoryEstimate(
+            capacity=self.capacity,
+            aggregated_peak_demand=aggregated,
+            guarantee_rate=p,
+            horizon_hours=horizon_hours,
+            per_org_peak=per_org,
+        )
+
+    def available_gpus(self, start_hour: int, horizon_hours: float, p: float) -> float:
+        """Shorthand for ``estimate(...).available``."""
+        return self.estimate(start_hour, horizon_hours, p).available

@@ -1,0 +1,80 @@
+"""Experiment harness: one runner per table/figure of the paper's evaluation."""
+
+from .ablation import AblationResult, run_table10, run_table8, run_table9
+from .comparison import Table5Result, run_table5
+from .config import (
+    ExperimentScale,
+    FULL_SCALE,
+    MEDIUM_SCALE,
+    SMALL_SCALE,
+    scale_by_name,
+)
+from .deployment import (
+    DeploymentResult,
+    ModelDeploymentOutcome,
+    paper_reference_benefit,
+    run_deployment_experiment,
+)
+from .forecasting import (
+    ForecastingExperimentConfig,
+    ForecastingResult,
+    build_forecasting_datasets,
+    run_forecasting_experiment,
+)
+from .observations import (
+    ObservationResults,
+    run_eviction_observation,
+    run_fleet_observation,
+    run_heatmap_observation,
+    run_observations,
+    run_request_cdf_observation,
+    run_runtime_observation,
+)
+from .runner import (
+    ComparisonResults,
+    ExperimentResult,
+    baseline_factories,
+    gfs_factory,
+    gfs_variant_factory,
+    run_one,
+    run_sweep,
+)
+from .sensitivity import Table6Result, run_table6
+
+__all__ = [
+    "AblationResult",
+    "ComparisonResults",
+    "DeploymentResult",
+    "ExperimentResult",
+    "ExperimentScale",
+    "FULL_SCALE",
+    "ForecastingExperimentConfig",
+    "ForecastingResult",
+    "MEDIUM_SCALE",
+    "ModelDeploymentOutcome",
+    "ObservationResults",
+    "SMALL_SCALE",
+    "Table5Result",
+    "Table6Result",
+    "baseline_factories",
+    "build_forecasting_datasets",
+    "gfs_factory",
+    "gfs_variant_factory",
+    "paper_reference_benefit",
+    "run_deployment_experiment",
+    "run_eviction_observation",
+    "run_fleet_observation",
+    "run_forecasting_experiment",
+    "run_heatmap_observation",
+    "run_observations",
+    "run_one",
+    "run_request_cdf_observation",
+    "run_runtime_observation",
+    "run_sweep",
+    "run_table10",
+    "run_table5",
+    "run_table6",
+    "run_table8",
+    "run_table9",
+    "scale_by_name",
+]

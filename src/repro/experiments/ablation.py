@@ -1,0 +1,88 @@
+"""Tables 8-10: ablation studies of the three GFS modules.
+
+* Table 8 — GDE ablation: GFS vs GFS-e (previous-week-peak predictor).
+* Table 9 — SQA ablation: GFS vs GFS-d (fixed eta = 1, no feedback).
+* Table 10 — PTS ablation: GFS vs GFS-s / GFS-p / GFS-sp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+from ..analysis.reporting import format_table
+from .config import ExperimentScale, MEDIUM_SCALE
+from .runner import ExperimentResult, gfs_factory, gfs_variant_factory, run_one
+
+
+@dataclass
+class AblationResult:
+    """Metrics of GFS and a set of degraded variants."""
+
+    title: str
+    per_variant: Dict[str, ExperimentResult] = field(default_factory=dict)
+
+    def report(self) -> str:
+        rows = []
+        for name, result in self.per_variant.items():
+            row = result.as_row()
+            rows.append(
+                [
+                    name,
+                    row["hp_jct"],
+                    row["hp_jqt"],
+                    row["spot_jct"],
+                    row["spot_jqt"],
+                    row["spot_eviction"] * 100,
+                ]
+            )
+        return format_table(
+            ["Variant", "HP JCT(s)", "HP JQT(s)", "Spot JCT(s)", "Spot JQT(s)", "Spot e(%)"],
+            rows,
+            title=self.title,
+        )
+
+
+def _run_variants(
+    scale: ExperimentScale, variants: Sequence[str], title: str, spot_scale: float
+) -> AblationResult:
+    result = AblationResult(title=title)
+    for variant in variants:
+        if variant.lower() == "gfs":
+            factory = gfs_factory()
+        else:
+            factory = gfs_variant_factory(variant)
+        result.per_variant[variant.upper() if variant != "gfs" else "GFS"] = run_one(
+            scale, factory, scheduler_name=variant, workload_name="medium", spot_scale=spot_scale
+        )
+    return result
+
+
+def run_table8(scale: Optional[ExperimentScale] = None, spot_scale: float = 2.0) -> AblationResult:
+    """GDE ablation (Table 8): GFS-e replaces the forecaster by last week's peak."""
+    return _run_variants(scale or MEDIUM_SCALE, ["gfs-e", "gfs"], "Table 8 (GDE ablation)", spot_scale)
+
+
+def run_table9(scale: Optional[ExperimentScale] = None, spot_scale: float = 2.0) -> AblationResult:
+    """SQA ablation (Table 9): GFS-d disables the eta feedback loop."""
+    return _run_variants(scale or MEDIUM_SCALE, ["gfs-d", "gfs"], "Table 9 (SQA ablation)", spot_scale)
+
+
+def run_table10(scale: Optional[ExperimentScale] = None, spot_scale: float = 2.0) -> AblationResult:
+    """PTS ablation (Table 10): degraded scoring and/or random preemption."""
+    return _run_variants(
+        scale or MEDIUM_SCALE,
+        ["gfs-sp", "gfs-s", "gfs-p", "gfs"],
+        "Table 10 (PTS ablation)",
+        spot_scale,
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    for runner in (run_table8, run_table9, run_table10):
+        print(runner().report())
+        print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

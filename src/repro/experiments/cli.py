@@ -1,0 +1,102 @@
+"""Command-line entry point for regenerating the paper's experiments.
+
+Usage::
+
+    python -m repro.experiments.cli table5 --scale small
+    python -m repro.experiments.cli table6 table8 table9 table10
+    python -m repro.experiments.cli fig10 fig9 observations
+    python -m repro.experiments.cli all --scale medium
+
+Each experiment prints the same rows as the corresponding table/figure of
+the paper (see EXPERIMENTS.md for the paper-vs-measured discussion).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List
+
+from .ablation import run_table10, run_table8, run_table9
+from .comparison import run_table5
+from .config import ExperimentScale, scale_by_name
+from .deployment import paper_reference_benefit, run_deployment_experiment
+from .forecasting import run_forecasting_experiment
+from .observations import run_observations
+from .sensitivity import run_table6
+
+
+def _run_table5(scale: ExperimentScale) -> str:
+    return run_table5(scale).report()
+
+
+def _run_table6(scale: ExperimentScale) -> str:
+    return run_table6(scale).report()
+
+
+def _run_table8(scale: ExperimentScale) -> str:
+    return run_table8(scale).report()
+
+
+def _run_table9(scale: ExperimentScale) -> str:
+    return run_table9(scale).report()
+
+
+def _run_table10(scale: ExperimentScale) -> str:
+    return run_table10(scale).report()
+
+
+def _run_fig10(scale: ExperimentScale) -> str:
+    return run_forecasting_experiment().report()
+
+
+def _run_fig9(scale: ExperimentScale) -> str:
+    report = run_deployment_experiment().report()
+    reference = paper_reference_benefit()
+    return report + (
+        f"\nPaper-reported operating points priced with the same model: "
+        f"${reference.monthly_gain_usd:,.0f}/month"
+    )
+
+
+def _run_observations(scale: ExperimentScale) -> str:
+    return run_observations(scale).report()
+
+
+EXPERIMENTS: Dict[str, Callable[[ExperimentScale], str]] = {
+    "table5": _run_table5,
+    "table6": _run_table6,
+    "table8": _run_table8,
+    "table9": _run_table9,
+    "table10": _run_table10,
+    "fig10": _run_fig10,
+    "table7": _run_fig10,
+    "fig9": _run_fig9,
+    "observations": _run_observations,
+}
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which experiments to regenerate",
+    )
+    parser.add_argument("--scale", default="small", help="small, medium or full")
+    args = parser.parse_args(argv)
+
+    scale = scale_by_name(args.scale)
+    names = sorted(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    for name in names:
+        start = time.perf_counter()
+        print(f"===== {name} (scale={scale.name}) =====")
+        print(EXPERIMENTS[name](scale))
+        print(f"[{name} finished in {time.perf_counter() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""Table 5: scheduling comparison against four baselines over three spot workloads."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..analysis.reporting import format_scheduler_table, improvement_row
+from ..workloads import SpotWorkloadLevel, all_levels, spot_scale
+from .config import ExperimentScale, MEDIUM_SCALE
+from .runner import ComparisonResults, baseline_factories, gfs_factory, run_sweep
+
+
+@dataclass
+class Table5Result:
+    """All rows of Table 5: one comparison per spot workload level."""
+
+    per_workload: Dict[str, ComparisonResults] = field(default_factory=dict)
+
+    def report(self) -> str:
+        sections = []
+        for level, results in self.per_workload.items():
+            rows = results.rows()
+            sections.append(
+                format_scheduler_table(rows, title=f"Table 5 ({level} spot workload)")
+            )
+            improvements = improvement_row(rows)
+            if improvements:
+                formatted = ", ".join(
+                    f"{metric}: {value * 100:+.1f}%" for metric, value in improvements.items()
+                )
+                sections.append(f"GFS vs best baseline -> {formatted}")
+            sections.append("")
+        return "\n".join(sections)
+
+
+def run_table5(
+    scale: Optional[ExperimentScale] = None,
+    levels: Optional[list[SpotWorkloadLevel]] = None,
+    include_gfs: bool = True,
+) -> Table5Result:
+    """Regenerate Table 5 at the given scale."""
+    scale = scale or MEDIUM_SCALE
+    levels = levels or all_levels()
+    factories = baseline_factories()
+    if include_gfs:
+        factories["GFS"] = gfs_factory()
+    result = Table5Result()
+    for level in levels:
+        result.per_workload[level.value] = run_sweep(
+            scale, factories, workload_name=level.value, spot_scale=spot_scale(level)
+        )
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(run_table5().report())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

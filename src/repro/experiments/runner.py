@@ -1,0 +1,104 @@
+"""Shared helpers for running scheduler-vs-workload simulation experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional
+
+from ..cluster import SimulationMetrics, run_simulation
+from ..core import GFSConfig, GFSScheduler, make_ablation
+from ..schedulers import (
+    ChronusScheduler,
+    FGDScheduler,
+    LyraScheduler,
+    Scheduler,
+    YarnCSScheduler,
+)
+from ..workloads import Trace
+from .config import ExperimentScale
+
+#: Factory signature: receives the trace (for demand history) and returns a scheduler.
+SchedulerFactory = Callable[[Trace], Scheduler]
+
+
+def baseline_factories() -> Dict[str, SchedulerFactory]:
+    """The four baseline schedulers of the Table 5 comparison."""
+    return {
+        "YARN-CS": lambda trace: YarnCSScheduler(),
+        "Chronus": lambda trace: ChronusScheduler(),
+        "Lyra": lambda trace: LyraScheduler(),
+        "FGD": lambda trace: FGDScheduler(),
+    }
+
+
+def gfs_factory(config: Optional[GFSConfig] = None) -> SchedulerFactory:
+    """Factory for the full GFS scheduler."""
+    return lambda trace: GFSScheduler(config or GFSConfig(), org_history=trace.org_history)
+
+
+def gfs_variant_factory(variant: str, config: Optional[GFSConfig] = None) -> SchedulerFactory:
+    """Factory for a GFS ablation variant (gfs-e, gfs-d, gfs-s, gfs-p, gfs-sp)."""
+    return lambda trace: make_ablation(variant, config=config, org_history=trace.org_history)
+
+
+@dataclass
+class ExperimentResult:
+    """Metrics of one scheduler under one workload."""
+
+    scheduler: str
+    workload: str
+    metrics: SimulationMetrics
+
+    def as_row(self) -> Dict[str, float]:
+        return {
+            "hp_jct_p99": self.metrics.hp.jct_p99,
+            "hp_jct": self.metrics.hp.jct_mean,
+            "hp_jqt": self.metrics.hp.jqt_mean,
+            "spot_jct": self.metrics.spot.jct_mean,
+            "spot_jqt": self.metrics.spot.jqt_mean,
+            "spot_eviction": self.metrics.spot.eviction_rate,
+            "allocation_rate": self.metrics.allocation_rate_mean,
+        }
+
+
+@dataclass
+class ComparisonResults:
+    """Results of a scheduler sweep for one workload level."""
+
+    workload: str
+    results: Dict[str, ExperimentResult] = field(default_factory=dict)
+
+    def rows(self) -> Dict[str, Dict[str, float]]:
+        return {name: r.as_row() for name, r in self.results.items()}
+
+
+def run_one(
+    scale: ExperimentScale,
+    factory: SchedulerFactory,
+    scheduler_name: str,
+    workload_name: str = "medium",
+    spot_scale: float = 2.0,
+    seed_offset: int = 0,
+) -> ExperimentResult:
+    """Run one scheduler over one freshly generated trace."""
+    trace = scale.build_trace(spot_scale=spot_scale, seed_offset=seed_offset)
+    cluster = scale.build_cluster()
+    scheduler = factory(trace)
+    metrics = run_simulation(cluster, scheduler, trace.sorted_tasks(), scale.simulator_config())
+    return ExperimentResult(scheduler=scheduler_name, workload=workload_name, metrics=metrics)
+
+
+def run_sweep(
+    scale: ExperimentScale,
+    factories: Mapping[str, SchedulerFactory],
+    workload_name: str,
+    spot_scale: float,
+    seed_offset: int = 0,
+) -> ComparisonResults:
+    """Run every scheduler in ``factories`` over the same workload level."""
+    results = ComparisonResults(workload=workload_name)
+    for name, factory in factories.items():
+        results.results[name] = run_one(
+            scale, factory, name, workload_name, spot_scale, seed_offset
+        )
+    return results

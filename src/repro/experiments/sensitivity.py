@@ -1,0 +1,66 @@
+"""Table 6: sensitivity of spot SLOs to the guarantee hours H."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+from ..analysis.reporting import format_table
+from ..core import GFSConfig
+from .config import ExperimentScale, MEDIUM_SCALE
+from .runner import ExperimentResult, gfs_factory, run_one
+
+
+@dataclass
+class Table6Result:
+    """Metrics of GFS under different guarantee-hour settings."""
+
+    per_horizon: Dict[float, ExperimentResult] = field(default_factory=dict)
+
+    def report(self) -> str:
+        rows = []
+        for hours, result in sorted(self.per_horizon.items()):
+            row = result.as_row()
+            rows.append(
+                [
+                    hours,
+                    row["hp_jct"],
+                    row["hp_jqt"],
+                    row["spot_jct"],
+                    row["spot_jqt"],
+                    row["spot_eviction"] * 100,
+                ]
+            )
+        return format_table(
+            ["H", "HP JCT(s)", "HP JQT(s)", "Spot JCT(s)", "Spot JQT(s)", "Spot e(%)"],
+            rows,
+            title="Table 6 (guarantee hours sensitivity, medium spot workload)",
+        )
+
+
+def run_table6(
+    scale: Optional[ExperimentScale] = None,
+    guarantee_hours: Sequence[float] = (1.0, 2.0, 4.0),
+    spot_scale: float = 2.0,
+) -> Table6Result:
+    """Regenerate Table 6: sweep the guarantee duration H."""
+    scale = scale or MEDIUM_SCALE
+    result = Table6Result()
+    for hours in guarantee_hours:
+        factory = gfs_factory(GFSConfig(guarantee_hours=hours))
+        result.per_horizon[hours] = run_one(
+            scale,
+            factory,
+            scheduler_name=f"GFS(H={hours:g})",
+            workload_name="medium",
+            spot_scale=spot_scale,
+        )
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(run_table6().report())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

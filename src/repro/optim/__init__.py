@@ -1,0 +1,19 @@
+"""Optimisation reference: the MILP model of Eq. 12 and a toy exact solver."""
+
+from .milp import (
+    Assignment,
+    MILPNode,
+    MILPTask,
+    SchedulingProblem,
+    greedy_reference,
+    solve_exact,
+)
+
+__all__ = [
+    "Assignment",
+    "MILPNode",
+    "MILPTask",
+    "SchedulingProblem",
+    "greedy_reference",
+    "solve_exact",
+]

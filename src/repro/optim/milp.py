@@ -1,0 +1,182 @@
+"""The scheduling optimisation model of Section 3.4.1 (Eq. 12).
+
+The paper formulates scheduling as a mixed-integer program minimising a
+combination of eviction impact and (negated) utilisation subject to node
+capacity, gang-scheduling and priority constraints, then solves it with a
+heuristic (PTS) because the exact problem is NP-hard.  This module provides
+
+* an explicit model object capturing the objective and constraints, and
+* a small exact solver (branch and bound over per-task node assignments)
+  usable on toy instances; tests use it to check that the PTS heuristic
+  produces feasible assignments and stays within a bounded optimality gap
+  on instances the exact solver can handle.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class MILPTask:
+    """A task in the optimisation model."""
+
+    task_id: str
+    num_pods: int
+    gpus_per_pod: int
+    is_hp: bool
+    #: GPU-time wasted if this (spot) task is preempted
+    preemption_waste: float = 0.0
+    #: whether the task is currently running (preempting it has a cost)
+    running_on: Optional[str] = None
+
+
+@dataclass
+class MILPNode:
+    """A node in the optimisation model."""
+
+    node_id: str
+    free_gpus: int
+
+
+@dataclass
+class Assignment:
+    """A complete assignment: task -> list of node ids (one per pod)."""
+
+    pods: Dict[str, List[str]] = field(default_factory=dict)
+    preempted: List[str] = field(default_factory=list)
+    objective: float = 0.0
+
+    def is_assigned(self, task_id: str) -> bool:
+        return task_id in self.pods
+
+
+@dataclass
+class SchedulingProblem:
+    """Instance of the Eq. 12 optimisation problem."""
+
+    tasks: List[MILPTask]
+    nodes: List[MILPNode]
+    alpha: float = 0.5
+
+    # ------------------------------------------------------------------
+    def check_feasible(self, assignment: Assignment) -> bool:
+        """Verify capacity, gang and priority constraints (12a-12d)."""
+        used: Dict[str, int] = {n.node_id: 0 for n in self.nodes}
+        capacity = {n.node_id: n.free_gpus for n in self.nodes}
+        preempted = set(assignment.preempted)
+        for task in self.tasks:
+            if task.is_hp and task.task_id in preempted:
+                return False  # constraint 12c/12d: only spot tasks are evicted
+            if not assignment.is_assigned(task.task_id):
+                continue
+            pods = assignment.pods[task.task_id]
+            if len(pods) != task.num_pods:
+                return False  # constraint 12b: gang scheduling
+            for node_id in pods:
+                if node_id not in capacity:
+                    return False
+                used[node_id] += task.gpus_per_pod
+        # Preempted running spot tasks release their capacity.
+        for task in self.tasks:
+            if task.running_on and task.task_id not in preempted:
+                used[task.running_on] = used.get(task.running_on, 0) + (
+                    task.num_pods * task.gpus_per_pod
+                )
+        return all(used[n] <= capacity[n] for n in used)
+
+    def objective_value(self, assignment: Assignment) -> float:
+        """Eq. 12: eviction-rate impact minus alpha * utilisation."""
+        preempted = set(assignment.preempted)
+        evictions = len(preempted)
+        runs = sum(1 for t in self.tasks if not t.is_hp) or 1
+        eviction_term = evictions / runs
+        scheduled_gpu = sum(
+            t.num_pods * t.gpus_per_pod
+            for t in self.tasks
+            if assignment.is_assigned(t.task_id)
+        )
+        total_capacity = sum(n.free_gpus for n in self.nodes) or 1
+        waste_term = sum(t.preemption_waste for t in self.tasks if t.task_id in preempted)
+        utilisation = scheduled_gpu / total_capacity
+        return eviction_term + waste_term / max(1.0, total_capacity) - self.alpha * utilisation
+
+
+def _node_combinations(problem: SchedulingProblem, task: MILPTask) -> List[Tuple[str, ...]]:
+    """Every multiset of nodes that could host the task's pods."""
+    node_ids = [n.node_id for n in problem.nodes]
+    return list(itertools.combinations_with_replacement(node_ids, task.num_pods))
+
+
+def solve_exact(problem: SchedulingProblem, max_states: int = 200_000) -> Assignment:
+    """Brute-force/branch-and-bound solver for toy instances.
+
+    Enumerates assignments task by task (including "leave pending" and, for
+    running spot tasks, "preempt"), pruning infeasible partial states.
+    Raises ``ValueError`` when the search space exceeds ``max_states``.
+    """
+    best: Optional[Assignment] = None
+    states_visited = 0
+
+    def recurse(index: int, assignment: Assignment) -> None:
+        nonlocal best, states_visited
+        states_visited += 1
+        if states_visited > max_states:
+            raise ValueError("instance too large for the exact solver")
+        if index == len(problem.tasks):
+            if problem.check_feasible(assignment):
+                value = problem.objective_value(assignment)
+                if best is None or value < best.objective:
+                    best = Assignment(
+                        pods={k: list(v) for k, v in assignment.pods.items()},
+                        preempted=list(assignment.preempted),
+                        objective=value,
+                    )
+            return
+        task = problem.tasks[index]
+        # Option 1: leave the task unscheduled (HP tasks should be scheduled
+        # when possible; feasibility checking handles capacity).
+        recurse(index + 1, assignment)
+        # Option 2 (spot, running): preempt it.
+        if not task.is_hp and task.running_on is not None:
+            assignment.preempted.append(task.task_id)
+            recurse(index + 1, assignment)
+            assignment.preempted.pop()
+        # Option 3: assign pods to nodes.
+        for combo in _node_combinations(problem, task):
+            assignment.pods[task.task_id] = list(combo)
+            if problem.check_feasible(assignment):
+                recurse(index + 1, assignment)
+            del assignment.pods[task.task_id]
+
+    recurse(0, Assignment())
+    if best is None:
+        best = Assignment()
+        best.objective = problem.objective_value(best)
+    return best
+
+
+def greedy_reference(problem: SchedulingProblem) -> Assignment:
+    """A first-fit greedy assignment used as a sanity baseline in tests."""
+    assignment = Assignment()
+    free = {n.node_id: n.free_gpus for n in problem.nodes}
+    for task in sorted(problem.tasks, key=lambda t: (not t.is_hp, -t.gpus_per_pod)):
+        pods: List[str] = []
+        snapshot = dict(free)
+        for _ in range(task.num_pods):
+            placed = False
+            for node_id, capacity in snapshot.items():
+                if capacity >= task.gpus_per_pod:
+                    snapshot[node_id] -= task.gpus_per_pod
+                    pods.append(node_id)
+                    placed = True
+                    break
+            if not placed:
+                break
+        if len(pods) == task.num_pods:
+            assignment.pods[task.task_id] = pods
+            free = snapshot
+    assignment.objective = problem.objective_value(assignment)
+    return assignment

@@ -1,0 +1,73 @@
+"""Scheduler interface and shared behaviour.
+
+Every scheduler (the four baselines and GFS itself) implements this
+interface; the simulator only interacts with schedulers through it.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional
+
+from ..cluster import Cluster, SchedulingDecision, Task
+
+
+class Scheduler(ABC):
+    """Abstract scheduler driven by :class:`repro.cluster.ClusterSimulator`."""
+
+    #: human-readable name used in experiment tables
+    name: str = "scheduler"
+
+    # ------------------------------------------------------------------
+    # Queue ordering
+    # ------------------------------------------------------------------
+    def sort_queue(self, pending: List[Task], now: float) -> List[Task]:
+        """Order in which pending tasks are offered for scheduling.
+
+        Default: first-come-first-served with HP tasks ahead of spot tasks
+        submitted at the same time.
+        """
+        return sorted(pending, key=lambda t: (t.submit_time, not t.is_hp, t.task_id))
+
+    def blocks_on_failure(self, task: Task) -> bool:
+        """Whether a failed scheduling attempt blocks the rest of its class.
+
+        First-come-first-served schedulers (YARN-CS, FGD) do not backfill:
+        once the spot task at the head of the queue cannot be placed, the
+        spot tasks behind it wait too.  Schedulers that reorder their queue
+        (Chronus, Lyra, GFS) return ``False`` and keep trying later tasks.
+        """
+        return False
+
+    # ------------------------------------------------------------------
+    # Core decision
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def try_schedule(
+        self, task: Task, cluster: Cluster, now: float
+    ) -> Optional[SchedulingDecision]:
+        """Attempt to place ``task``; return ``None`` to keep it queued."""
+
+    # ------------------------------------------------------------------
+    # Optional notification hooks
+    # ------------------------------------------------------------------
+    def on_simulation_start(self, cluster: Cluster, now: float) -> None:
+        """Called once before the first event is processed."""
+
+    def on_task_submit(self, task: Task, cluster: Cluster, now: float) -> None:
+        """Called when a task enters the waiting queue."""
+
+    def on_task_start(self, task: Task, cluster: Cluster, now: float) -> None:
+        """Called when a task starts running."""
+
+    def on_task_finish(self, task: Task, cluster: Cluster, now: float) -> None:
+        """Called when a task completes."""
+
+    def on_task_evicted(self, task: Task, cluster: Cluster, now: float) -> None:
+        """Called when a spot task is preempted."""
+
+    def on_tick(self, cluster: Cluster, now: float, pending: List[Task]) -> None:
+        """Called at every periodic simulator tick (quota updates, feedback)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} name={self.name!r}>"

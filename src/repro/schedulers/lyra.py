@@ -1,0 +1,99 @@
+"""Lyra baseline: elastic node loaning between HP and spot pools.
+
+Lyra (EuroSys '23) leases idle inference nodes to training tasks and uses a
+heuristic to minimise preemption cost.  Mapped onto this paper's task
+model: HP tasks play the role of inference tasks and spot tasks the role of
+training tasks.  Spot tasks may only run on *loaned* nodes (nodes currently
+hosting no HP task); when HP demand grows, whole loaned nodes are reclaimed
+(all spot tasks on them are preempted), choosing the reclaim set that
+minimises the number of preempted tasks.
+
+The node-granularity loan keeps the eviction rate low but throttles how
+much capacity spot tasks can use, which is what produces Lyra's long spot
+queuing times in the paper's comparison.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..cluster import Cluster, Node, SchedulingDecision, Task
+from .base import Scheduler
+from .placement import (
+    NodeView,
+    filter_nodes,
+    find_placement,
+    spot_tasks_on_node,
+    virtually_preempt_task,
+)
+from .yarn_cs import best_fit_score
+
+
+class LyraScheduler(Scheduler):
+    """Node-loaning scheduler with preemption-cost-aware reclaims.
+
+    ``capacity_reserve`` is the fraction of total cluster capacity Lyra
+    keeps free of spot tasks as a buffer for HP growth; the conservative
+    loaning policy is what keeps Lyra's eviction rate low at the price of
+    long spot queuing times.
+    """
+
+    name = "Lyra"
+
+    def __init__(self, capacity_reserve: float = 0.15):
+        self.capacity_reserve = capacity_reserve
+
+    def try_schedule(self, task: Task, cluster: Cluster, now: float) -> Optional[SchedulingDecision]:
+        nodes = filter_nodes(task, cluster.nodes)
+        if task.is_spot:
+            return self._schedule_spot(task, cluster, nodes)
+        return self._schedule_hp(task, cluster, nodes, now)
+
+    # ------------------------------------------------------------------
+    def _schedule_spot(
+        self, task: Task, cluster: Cluster, nodes: List[Node]
+    ) -> Optional[SchedulingDecision]:
+        reserve = self.capacity_reserve * cluster.total_gpus(task.gpu_model)
+        if cluster.idle_gpus(task.gpu_model) - task.total_gpus < reserve:
+            return None  # keep a buffer of idle capacity for HP growth
+        loaned = [n for n in nodes if n.hp_gpus == 0]
+        placements = find_placement(task, loaned, score=best_fit_score)
+        if placements is None:
+            return None
+        return SchedulingDecision(placements=placements)
+
+    def _schedule_hp(
+        self, task: Task, cluster: Cluster, nodes: List[Node], now: float
+    ) -> Optional[SchedulingDecision]:
+        # Prefer nodes that host no spot task so reclaims stay rare.
+        def hp_affinity_score(node: Node, view: NodeView, t: Task) -> float:
+            return (0.0 if node.spot_gpus > 0 else 1000.0) - view.free_capacity
+
+        placements = find_placement(task, nodes, score=hp_affinity_score)
+        if placements is not None:
+            return SchedulingDecision(placements=placements)
+
+        # Reclaim loaned nodes: order candidate nodes by how few spot tasks
+        # would be displaced, then virtually reclaim until the task fits.
+        views = {n.node_id: NodeView.from_node(n) for n in nodes}
+        victims: List[str] = []
+        reclaim_order = sorted(
+            (n for n in nodes if n.spot_gpus > 0),
+            key=lambda n: (len(spot_tasks_on_node(n, cluster)), -n.spot_gpus),
+        )
+        for node in reclaim_order:
+            for spot in spot_tasks_on_node(node, cluster):
+                if spot.task_id in victims:
+                    continue
+                virtually_preempt_task(views, spot)
+                victims.append(spot.task_id)
+            placements = find_placement(task, nodes, score=hp_affinity_score, views=views)
+            if placements is not None:
+                used_nodes = {p.node_id for p in placements}
+                needed = []
+                for vid in victims:
+                    victim = cluster.running_tasks[vid]
+                    if any(p.node_id in used_nodes for p in victim.placements):
+                        needed.append(vid)
+                return SchedulingDecision(placements=placements, preempted_task_ids=needed or victims)
+        return None

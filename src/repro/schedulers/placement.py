@@ -1,0 +1,173 @@
+"""Shared placement utilities used by every scheduler.
+
+Placement works on *virtual* node views so that a multi-pod (gang) decision
+can be evaluated atomically without mutating real cluster state; the
+simulator materialises the decision afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..cluster import Node, PodPlacement, Task
+from ..cluster.gpu import EPSILON
+
+#: A node-scoring function: higher scores are preferred.
+NodeScore = Callable[[Node, "NodeView", Task], float]
+
+
+@dataclass
+class NodeView:
+    """A lightweight virtual view of a node during one scheduling decision.
+
+    Tracks idle whole cards and free fractional capacity after tentative pod
+    assignments and virtual preemptions, without touching the real node.
+    """
+
+    node: Node
+    idle_gpus: int = 0
+    free_capacity: float = 0.0
+    #: GPUs freed by virtually preempting spot tasks on this node
+    reclaimed_gpus: float = 0.0
+    #: ids of spot tasks virtually preempted on this node
+    preempted: Set[str] = field(default_factory=set)
+    assigned_pods: int = 0
+
+    @classmethod
+    def from_node(cls, node: Node) -> "NodeView":
+        return cls(node=node, idle_gpus=node.idle_gpus, free_capacity=node.free_capacity)
+
+    # ------------------------------------------------------------------
+    def can_fit_pod(self, gpus_per_pod: float) -> bool:
+        if gpus_per_pod < 1.0 - EPSILON:
+            return self.free_capacity + EPSILON >= gpus_per_pod
+        return self.idle_gpus >= int(round(gpus_per_pod))
+
+    def assign_pod(self, gpus_per_pod: float) -> None:
+        if not self.can_fit_pod(gpus_per_pod):
+            raise ValueError("pod does not fit in node view")
+        if gpus_per_pod < 1.0 - EPSILON:
+            self.free_capacity -= gpus_per_pod
+        else:
+            whole = int(round(gpus_per_pod))
+            self.idle_gpus -= whole
+            self.free_capacity -= whole
+        self.assigned_pods += 1
+
+    def clone(self) -> "NodeView":
+        """An independent copy used for trial placements."""
+        return NodeView(
+            node=self.node,
+            idle_gpus=self.idle_gpus,
+            free_capacity=self.free_capacity,
+            reclaimed_gpus=self.reclaimed_gpus,
+            preempted=set(self.preempted),
+            assigned_pods=self.assigned_pods,
+        )
+
+    def virtually_preempt(self, task: Task) -> None:
+        """Free the GPUs a running spot task holds on this node (virtual)."""
+        gpus_here = sum(
+            fraction for _, fraction in self.node.task_shares.get(task.task_id, [])
+        )
+        whole = int(round(gpus_here)) if gpus_here >= 1.0 - EPSILON else 0
+        self.idle_gpus += whole
+        self.free_capacity += gpus_here
+        self.reclaimed_gpus += gpus_here
+        self.preempted.add(task.task_id)
+
+
+def build_views(nodes: Iterable[Node]) -> List[NodeView]:
+    return [NodeView.from_node(n) for n in nodes]
+
+
+def filter_nodes(task: Task, nodes: Iterable[Node]) -> List[Node]:
+    """Nodes compatible with the task's GPU-model requirement."""
+    return [
+        n
+        for n in nodes
+        if task.gpu_model is None or n.gpu_model is task.gpu_model
+    ]
+
+
+def find_placement(
+    task: Task,
+    nodes: Sequence[Node],
+    score: Optional[NodeScore] = None,
+    views: Optional[Dict[str, NodeView]] = None,
+) -> Optional[List[PodPlacement]]:
+    """Greedy pod-by-pod placement of ``task`` onto ``nodes``.
+
+    Pods are placed one at a time onto the feasible node with the highest
+    score (ties broken by node id for determinism).  All pods must be
+    placed, otherwise ``None`` is returned (gang semantics).
+    """
+    candidates = filter_nodes(task, nodes)
+    if not candidates:
+        return None
+    if views is None:
+        view_map: Dict[str, NodeView] = {
+            n.node_id: NodeView.from_node(n)
+            for n in candidates
+            if n.can_fit_pod(task.gpus_per_pod)
+        }
+    else:
+        # Trial placements must never mutate the caller's views; only nodes
+        # that could host at least one pod are worth cloning.
+        view_map = {
+            n.node_id: views[n.node_id].clone()
+            for n in candidates
+            if n.node_id in views and views[n.node_id].can_fit_pod(task.gpus_per_pod)
+        }
+    if not view_map:
+        return None
+    # Cheap infeasibility check before the greedy loop.
+    if sum(v.free_capacity for v in view_map.values()) + EPSILON < task.total_gpus:
+        return None
+    placements: List[PodPlacement] = []
+    for _ in range(task.num_pods):
+        feasible = [
+            v for v in view_map.values() if v.can_fit_pod(task.gpus_per_pod)
+        ]
+        if not feasible:
+            return None
+        if score is None:
+            chosen = min(feasible, key=lambda v: (v.free_capacity, v.node.node_id))
+        else:
+            chosen = max(
+                feasible,
+                key=lambda v: (score(v.node, v, task), v.node.node_id),
+            )
+        chosen.assign_pod(task.gpus_per_pod)
+        placements.append(
+            PodPlacement(node_id=chosen.node.node_id, gpu_indices=(), fraction=task.gpus_per_pod)
+        )
+    return placements
+
+
+def virtually_preempt_task(views: Dict[str, NodeView], task: Task) -> None:
+    """Virtually evict ``task`` from every node it occupies (whole-task semantics)."""
+    seen_nodes = set()
+    for pod in task.placements:
+        if pod.node_id in seen_nodes:
+            continue
+        seen_nodes.add(pod.node_id)
+        view = views.get(pod.node_id)
+        if view is not None and task.task_id not in view.preempted:
+            view.virtually_preempt(task)
+
+
+def spot_tasks_on_node(node: Node, cluster) -> List[Task]:
+    """Running spot tasks that hold GPUs on ``node``."""
+    tasks = []
+    for task_id in node.running_task_ids():
+        task = cluster.running_tasks.get(task_id)
+        if task is not None and task.is_spot:
+            tasks.append(task)
+    return tasks
+
+
+def gpus_held_on_node(task: Task, node: Node) -> float:
+    """How many GPUs ``task`` holds on ``node``."""
+    return sum(fraction for _, fraction in node.task_shares.get(task.task_id, []))

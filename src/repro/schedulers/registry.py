@@ -1,0 +1,53 @@
+"""Scheduler registry: build any scheduler (baselines or GFS) by name."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from .base import Scheduler
+from .chronus import ChronusScheduler
+from .fgd import FGDScheduler
+from .lyra import LyraScheduler
+from .yarn_cs import YarnCSScheduler
+
+SchedulerFactory = Callable[..., Scheduler]
+
+_REGISTRY: Dict[str, SchedulerFactory] = {}
+
+
+def register(name: str, factory: SchedulerFactory) -> None:
+    """Register a scheduler factory under a case-insensitive name."""
+    _REGISTRY[name.lower()] = factory
+
+
+def available_schedulers() -> List[str]:
+    """Names of every registered scheduler."""
+    _ensure_gfs_registered()
+    return sorted(_REGISTRY)
+
+
+def create_scheduler(name: str, **kwargs) -> Scheduler:
+    """Instantiate a scheduler by name (e.g. ``"gfs"``, ``"yarn-cs"``)."""
+    _ensure_gfs_registered()
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise KeyError(f"unknown scheduler {name!r}; available: {available_schedulers()}")
+    return _REGISTRY[key](**kwargs)
+
+
+def _ensure_gfs_registered() -> None:
+    """Lazily register GFS variants to avoid a circular import at load time."""
+    if "gfs" in _REGISTRY:
+        return
+    from ..core.gfs import GFSScheduler, make_ablation
+
+    register("gfs", GFSScheduler)
+    for variant in ("gfs-e", "gfs-d", "gfs-s", "gfs-p", "gfs-sp"):
+        register(variant, lambda v=variant, **kw: make_ablation(v, **kw))
+
+
+register("yarn-cs", YarnCSScheduler)
+register("yarn_cs", YarnCSScheduler)
+register("chronus", ChronusScheduler)
+register("lyra", LyraScheduler)
+register("fgd", FGDScheduler)

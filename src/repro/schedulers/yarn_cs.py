@@ -1,0 +1,85 @@
+"""YARN-CS baseline: FCFS ordering, best-fit placement, naive preemption.
+
+Modelled after the YARN capacity scheduler as used in the paper's
+comparison: tasks are served first-come-first-served, placed with a
+best-fit heuristic, HP tasks may preempt spot tasks, and there is no
+predictive spot quota (spot tasks are admitted whenever idle GPUs exist).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..cluster import Cluster, Node, SchedulingDecision, Task
+from .base import Scheduler
+from .placement import (
+    NodeView,
+    build_views,
+    filter_nodes,
+    find_placement,
+    gpus_held_on_node,
+    spot_tasks_on_node,
+    virtually_preempt_task,
+)
+
+
+def best_fit_score(node: Node, view: NodeView, task: Task) -> float:
+    """Best fit: prefer the node with the least free capacity that still fits."""
+    return -view.free_capacity
+
+
+class YarnCSScheduler(Scheduler):
+    """Classic FCFS + best-fit scheduler with unrestricted preemption."""
+
+    name = "YARN-CS"
+
+    def blocks_on_failure(self, task: Task) -> bool:
+        # Plain FCFS: a spot task stuck at the head of the queue blocks the
+        # spot tasks submitted after it (HP tasks preempt, so they rarely wait).
+        return task.is_spot
+
+    def try_schedule(self, task: Task, cluster: Cluster, now: float) -> Optional[SchedulingDecision]:
+        nodes = filter_nodes(task, cluster.nodes)
+        placements = find_placement(task, nodes, score=best_fit_score)
+        if placements is not None:
+            return SchedulingDecision(placements=placements)
+        if task.is_hp:
+            return self._preemptive_schedule(task, cluster, nodes, now)
+        return None
+
+    # ------------------------------------------------------------------
+    def _preemptive_schedule(
+        self, task: Task, cluster: Cluster, nodes: List[Node], now: float
+    ) -> Optional[SchedulingDecision]:
+        """Naive preemption: evict the most recently started spot tasks first."""
+        views = {n.node_id: NodeView.from_node(n) for n in nodes}
+        victims: List[str] = []
+        # Preempt node by node (densest spot usage first) until the task fits.
+        spot_nodes = sorted(
+            (n for n in nodes if n.spot_gpus > 0),
+            key=lambda n: -n.spot_gpus,
+        )
+        for node in spot_nodes:
+            candidates = sorted(
+                spot_tasks_on_node(node, cluster),
+                key=lambda t: -(t.run_logs[-1].start if t.run_logs else 0.0),
+            )
+            for victim in candidates:
+                if victim.task_id in victims:
+                    continue
+                virtually_preempt_task(views, victim)
+                victims.append(victim.task_id)
+                placements = find_placement(task, nodes, score=best_fit_score, views=views)
+                if placements is not None:
+                    # Only evict victims whose node actually hosts the task.
+                    used_nodes = {p.node_id for p in placements}
+                    needed = [
+                        vid
+                        for vid in victims
+                        if any(
+                            gpus_held_on_node(cluster.running_tasks[vid], cluster.node(nid)) > 0
+                            for nid in used_nodes
+                        )
+                    ]
+                    return SchedulingDecision(placements=placements, preempted_task_ids=needed or victims)
+        return None

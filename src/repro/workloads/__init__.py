@@ -1,0 +1,67 @@
+"""Workload substrate: organization demand processes, fleets and traces."""
+
+from .fleet import (
+    FleetEntry,
+    POST_DEPLOYMENT_ALLOCATION,
+    POST_DEPLOYMENT_EVICTION,
+    PRE_DEPLOYMENT_EVICTION,
+    PRODUCTION_FLEET,
+    build_production_cluster,
+    build_simulation_cluster,
+    production_gpu_counts,
+    scaled_fleet,
+)
+from .organizations import (
+    DEFAULT_HOLIDAYS,
+    OrganizationProfile,
+    aggregate_demand,
+    default_organizations,
+    generate_org_demand_matrix,
+)
+from .scaling import SpotWorkloadLevel, SPOT_SCALE_FACTORS, all_levels, spot_scale
+from .synthetic import (
+    GPUSizeDistribution,
+    HP_GANG_FRACTION,
+    HP_GPU_DISTRIBUTION,
+    SPOT_GANG_FRACTION,
+    SPOT_GPU_DISTRIBUTION,
+    SyntheticTraceGenerator,
+    WorkloadConfig,
+    generate_legacy_2020_requests,
+    generate_modern_2024_requests,
+    generate_trace,
+)
+from .trace import Trace, TraceStatistics
+
+__all__ = [
+    "DEFAULT_HOLIDAYS",
+    "FleetEntry",
+    "GPUSizeDistribution",
+    "HP_GANG_FRACTION",
+    "HP_GPU_DISTRIBUTION",
+    "OrganizationProfile",
+    "POST_DEPLOYMENT_ALLOCATION",
+    "POST_DEPLOYMENT_EVICTION",
+    "PRE_DEPLOYMENT_EVICTION",
+    "PRODUCTION_FLEET",
+    "SPOT_GANG_FRACTION",
+    "SPOT_GPU_DISTRIBUTION",
+    "SPOT_SCALE_FACTORS",
+    "SpotWorkloadLevel",
+    "SyntheticTraceGenerator",
+    "Trace",
+    "TraceStatistics",
+    "WorkloadConfig",
+    "aggregate_demand",
+    "all_levels",
+    "build_production_cluster",
+    "build_simulation_cluster",
+    "default_organizations",
+    "generate_legacy_2020_requests",
+    "generate_modern_2024_requests",
+    "generate_org_demand_matrix",
+    "generate_trace",
+    "production_gpu_counts",
+    "scaled_fleet",
+    "spot_scale",
+]

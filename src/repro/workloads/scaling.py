@@ -1,0 +1,37 @@
+"""Spot workload scaling (Section 4.1).
+
+The paper evaluates three spot workload intensities against the same HP
+stream: Low (original submission rate), Medium (200%) and High (400%).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict
+
+
+class SpotWorkloadLevel(str, Enum):
+    """Named spot workload intensities from the evaluation setup."""
+
+    LOW = "low"
+    MEDIUM = "medium"
+    HIGH = "high"
+
+
+#: Submission-rate multiplier for each workload level.
+SPOT_SCALE_FACTORS: Dict[SpotWorkloadLevel, float] = {
+    SpotWorkloadLevel.LOW: 1.0,
+    SpotWorkloadLevel.MEDIUM: 2.0,
+    SpotWorkloadLevel.HIGH: 4.0,
+}
+
+
+def spot_scale(level: SpotWorkloadLevel | str) -> float:
+    """Return the submission-rate multiplier for a workload level."""
+    if isinstance(level, str):
+        level = SpotWorkloadLevel(level.lower())
+    return SPOT_SCALE_FACTORS[level]
+
+
+def all_levels() -> list[SpotWorkloadLevel]:
+    return [SpotWorkloadLevel.LOW, SpotWorkloadLevel.MEDIUM, SpotWorkloadLevel.HIGH]

@@ -1,0 +1,169 @@
+"""Trace containers and (de)serialisation.
+
+A trace is the list of task submissions a simulation replays, together
+with the per-organization demand history the GDE needs for training.  It
+can be round-tripped through plain JSON so generated traces can be saved
+next to experiment results.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..cluster import GPUModel, Task, TaskType
+
+
+@dataclass
+class TraceStatistics:
+    """Summary statistics of a trace (used to validate calibration)."""
+
+    num_hp: int
+    num_spot: int
+    hp_gpu_histogram: Dict[str, float]
+    spot_gpu_histogram: Dict[str, float]
+    hp_gang_fraction: float
+    spot_gang_fraction: float
+    duration_p50: float
+    duration_p90: float
+    duration_p99: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "num_hp": self.num_hp,
+            "num_spot": self.num_spot,
+            "hp_gpu_histogram": self.hp_gpu_histogram,
+            "spot_gpu_histogram": self.spot_gpu_histogram,
+            "hp_gang_fraction": self.hp_gang_fraction,
+            "spot_gang_fraction": self.spot_gang_fraction,
+            "duration_p50": self.duration_p50,
+            "duration_p90": self.duration_p90,
+            "duration_p99": self.duration_p99,
+        }
+
+
+@dataclass
+class Trace:
+    """A replayable workload trace."""
+
+    tasks: List[Task] = field(default_factory=list)
+    #: organization name -> hourly GPU demand history (for GDE training)
+    org_history: Dict[str, np.ndarray] = field(default_factory=dict)
+    #: metadata (seed, scale, scenario name, ...)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def hp_tasks(self) -> List[Task]:
+        return [t for t in self.tasks if t.is_hp]
+
+    @property
+    def spot_tasks(self) -> List[Task]:
+        return [t for t in self.tasks if t.is_spot]
+
+    @property
+    def horizon(self) -> float:
+        """Last submission time in the trace (seconds)."""
+        return max((t.submit_time for t in self.tasks), default=0.0)
+
+    def sorted_tasks(self) -> List[Task]:
+        return sorted(self.tasks, key=lambda t: t.submit_time)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _gpu_bucket(task: Task) -> str:
+        size = task.gpus_per_pod
+        if size < 1.0:
+            return "<1"
+        return str(int(round(size)))
+
+    def statistics(self) -> TraceStatistics:
+        """Compute the calibration statistics of this trace."""
+
+        def histogram(tasks: Sequence[Task]) -> Dict[str, float]:
+            counts: Dict[str, int] = {}
+            for t in tasks:
+                counts[self._gpu_bucket(t)] = counts.get(self._gpu_bucket(t), 0) + 1
+            total = max(1, len(tasks))
+            return {k: v / total for k, v in sorted(counts.items())}
+
+        def gang_fraction(tasks: Sequence[Task]) -> float:
+            if not tasks:
+                return 0.0
+            return sum(1 for t in tasks if t.gang) / len(tasks)
+
+        durations = sorted(t.duration for t in self.tasks) or [0.0]
+        arr = np.array(durations)
+        return TraceStatistics(
+            num_hp=len(self.hp_tasks),
+            num_spot=len(self.spot_tasks),
+            hp_gpu_histogram=histogram(self.hp_tasks),
+            spot_gpu_histogram=histogram(self.spot_tasks),
+            hp_gang_fraction=gang_fraction(self.hp_tasks),
+            spot_gang_fraction=gang_fraction(self.spot_tasks),
+            duration_p50=float(np.percentile(arr, 50)),
+            duration_p90=float(np.percentile(arr, 90)),
+            duration_p99=float(np.percentile(arr, 99)),
+        )
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_records(self) -> Dict[str, object]:
+        """Convert to plain JSON-serialisable structures."""
+        return {
+            "metadata": self.metadata,
+            "org_history": {k: list(map(float, v)) for k, v in self.org_history.items()},
+            "tasks": [
+                {
+                    "task_id": t.task_id,
+                    "task_type": int(t.task_type),
+                    "num_pods": t.num_pods,
+                    "gpus_per_pod": t.gpus_per_pod,
+                    "duration": t.duration,
+                    "submit_time": t.submit_time,
+                    "org": t.org,
+                    "gpu_model": t.gpu_model.value if t.gpu_model else None,
+                    "gang": t.gang,
+                    "checkpoint_interval": t.checkpoint_interval,
+                }
+                for t in self.tasks
+            ],
+        }
+
+    @classmethod
+    def from_records(cls, records: Dict[str, object]) -> "Trace":
+        tasks = [
+            Task(
+                task_id=r["task_id"],
+                task_type=TaskType(r["task_type"]),
+                num_pods=r["num_pods"],
+                gpus_per_pod=r["gpus_per_pod"],
+                duration=r["duration"],
+                submit_time=r["submit_time"],
+                org=r.get("org", "default"),
+                gpu_model=GPUModel(r["gpu_model"]) if r.get("gpu_model") else None,
+                gang=r.get("gang", False),
+                checkpoint_interval=r.get("checkpoint_interval", 1800.0),
+            )
+            for r in records.get("tasks", [])
+        ]
+        org_history = {
+            k: np.asarray(v, dtype=float) for k, v in records.get("org_history", {}).items()
+        }
+        return cls(tasks=tasks, org_history=org_history, metadata=dict(records.get("metadata", {})))
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.to_records()))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Trace":
+        return cls.from_records(json.loads(Path(path).read_text()))
+
+    def __len__(self) -> int:
+        return len(self.tasks)

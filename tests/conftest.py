@@ -1,0 +1,88 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, GPUModel, Node, Task, TaskType, make_task, reset_task_counter
+from repro.workloads import (
+    WorkloadConfig,
+    SyntheticTraceGenerator,
+    default_organizations,
+    generate_org_demand_matrix,
+)
+
+
+@pytest.fixture(autouse=True)
+def _reset_task_ids():
+    """Keep auto-generated task ids deterministic within each test."""
+    reset_task_counter()
+    yield
+
+
+@pytest.fixture
+def small_node() -> Node:
+    return Node(node_id="node-0", gpu_model=GPUModel.A100, num_gpus=8)
+
+
+@pytest.fixture
+def small_cluster() -> Cluster:
+    return Cluster.homogeneous(num_nodes=4, gpus_per_node=8, gpu_model=GPUModel.A100)
+
+
+@pytest.fixture
+def medium_cluster() -> Cluster:
+    return Cluster.homogeneous(num_nodes=16, gpus_per_node=8, gpu_model=GPUModel.A100)
+
+
+def build_task(
+    task_type: TaskType = TaskType.SPOT,
+    num_pods: int = 1,
+    gpus_per_pod: float = 1.0,
+    duration: float = 3600.0,
+    submit_time: float = 0.0,
+    **kwargs,
+) -> Task:
+    """Helper used across tests to create tasks tersely."""
+    return make_task(
+        task_type=task_type,
+        num_pods=num_pods,
+        gpus_per_pod=gpus_per_pod,
+        duration=duration,
+        submit_time=submit_time,
+        **kwargs,
+    )
+
+
+@pytest.fixture
+def hp_task() -> Task:
+    return build_task(TaskType.HP, num_pods=1, gpus_per_pod=8.0, duration=7200.0)
+
+
+@pytest.fixture
+def spot_task() -> Task:
+    return build_task(TaskType.SPOT, num_pods=1, gpus_per_pod=1.0, duration=3600.0)
+
+
+@pytest.fixture
+def org_history() -> dict:
+    orgs = default_organizations()
+    return generate_org_demand_matrix(orgs, hours=14 * 24, seed=1)
+
+
+@pytest.fixture
+def tiny_trace():
+    """A small but non-trivial synthetic trace for integration tests."""
+    config = WorkloadConfig(
+        cluster_gpus=128.0,
+        duration_hours=8.0,
+        spot_scale=2.0,
+        seed=5,
+        history_hours=7 * 24,
+    )
+    return SyntheticTraceGenerator(config).generate()
+
+
+# Re-export for tests that import from conftest.
+__all__ = ["build_task"]

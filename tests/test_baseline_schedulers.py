@@ -1,0 +1,153 @@
+"""Tests for the four baseline schedulers and the scheduler registry."""
+
+import pytest
+
+from repro.cluster import Cluster, GPUModel, PodPlacement, TaskType, run_simulation
+from repro.schedulers import (
+    ChronusScheduler,
+    FGDScheduler,
+    LyraScheduler,
+    YarnCSScheduler,
+    available_schedulers,
+    create_scheduler,
+    fragmentation_after,
+)
+from repro.schedulers.placement import NodeView
+from tests.conftest import build_task
+
+
+@pytest.fixture
+def cluster():
+    return Cluster.homogeneous(4, 8, GPUModel.A100)
+
+
+def occupy(cluster, task, node_index=0):
+    node = cluster.nodes[node_index]
+    cluster.place_task(task, [PodPlacement(node_id=node.node_id, gpu_indices=())] * task.num_pods)
+    task.run_logs.append(__import__("repro.cluster.task", fromlist=["RunLog"]).RunLog(start=0.0))
+    return task
+
+
+class TestYarnCS:
+    def test_places_when_capacity_available(self, cluster):
+        decision = YarnCSScheduler().try_schedule(build_task(TaskType.HP, gpus_per_pod=8.0), cluster, 0.0)
+        assert decision is not None
+        assert not decision.requires_preemption
+
+    def test_hp_preempts_spot_when_full(self, cluster):
+        scheduler = YarnCSScheduler()
+        for i in range(4):
+            occupy(cluster, build_task(TaskType.SPOT, gpus_per_pod=8.0), node_index=i)
+        decision = scheduler.try_schedule(build_task(TaskType.HP, gpus_per_pod=8.0), cluster, 100.0)
+        assert decision is not None
+        assert decision.requires_preemption
+        assert len(decision.preempted_task_ids) >= 1
+
+    def test_spot_never_preempts(self, cluster):
+        scheduler = YarnCSScheduler()
+        for i in range(4):
+            occupy(cluster, build_task(TaskType.HP, gpus_per_pod=8.0), node_index=i)
+        decision = scheduler.try_schedule(build_task(TaskType.SPOT, gpus_per_pod=1.0), cluster, 0.0)
+        assert decision is None
+
+    def test_fcfs_blocking_for_spot_only(self):
+        scheduler = YarnCSScheduler()
+        assert scheduler.blocks_on_failure(build_task(TaskType.SPOT))
+        assert not scheduler.blocks_on_failure(build_task(TaskType.HP))
+
+    def test_queue_sorted_fcfs(self):
+        scheduler = YarnCSScheduler()
+        late = build_task(TaskType.HP, submit_time=100.0)
+        early = build_task(TaskType.SPOT, submit_time=10.0)
+        assert scheduler.sort_queue([late, early], 0.0)[0] is early
+
+
+class TestChronus:
+    def test_lease_alignment_delay(self, cluster):
+        scheduler = ChronusScheduler(hp_lease=1200.0, spot_lease=300.0)
+        decision = scheduler.try_schedule(build_task(TaskType.HP, gpus_per_pod=1.0), cluster, 100.0)
+        assert decision is not None
+        assert decision.start_delay == pytest.approx(1100.0)
+
+    def test_no_delay_exactly_on_boundary(self, cluster):
+        scheduler = ChronusScheduler(hp_lease=1200.0)
+        decision = scheduler.try_schedule(build_task(TaskType.HP, gpus_per_pod=1.0), cluster, 2400.0)
+        assert decision.start_delay == pytest.approx(0.0)
+
+    def test_never_preempts(self, cluster):
+        scheduler = ChronusScheduler()
+        for i in range(4):
+            occupy(cluster, build_task(TaskType.SPOT, gpus_per_pod=8.0), node_index=i)
+        decision = scheduler.try_schedule(build_task(TaskType.HP, gpus_per_pod=8.0), cluster, 400.0)
+        assert decision is None
+
+
+class TestLyra:
+    def test_spot_only_on_hp_free_nodes(self, cluster):
+        scheduler = LyraScheduler(capacity_reserve=0.0)
+        occupy(cluster, build_task(TaskType.HP, gpus_per_pod=4.0), node_index=0)
+        decision = scheduler.try_schedule(build_task(TaskType.SPOT, gpus_per_pod=2.0), cluster, 0.0)
+        assert decision is not None
+        assert decision.placements[0].node_id != cluster.nodes[0].node_id
+
+    def test_capacity_reserve_blocks_spot(self, cluster):
+        scheduler = LyraScheduler(capacity_reserve=1.0)  # reserve the whole cluster
+        decision = scheduler.try_schedule(build_task(TaskType.SPOT, gpus_per_pod=1.0), cluster, 0.0)
+        assert decision is None
+
+    def test_hp_reclaims_loaned_nodes(self, cluster):
+        scheduler = LyraScheduler(capacity_reserve=0.0)
+        for i in range(4):
+            occupy(cluster, build_task(TaskType.SPOT, gpus_per_pod=8.0), node_index=i)
+        decision = scheduler.try_schedule(build_task(TaskType.HP, gpus_per_pod=8.0), cluster, 50.0)
+        assert decision is not None
+        assert decision.requires_preemption
+
+
+class TestFGD:
+    def test_fragmentation_measure(self, cluster):
+        view = NodeView.from_node(cluster.nodes[0])
+        # Placing a 3-GPU pod on an empty 8-GPU node leaves 5 idle; one more
+        # 3-GPU pod would fit, leaving a 2-GPU fragment.
+        assert fragmentation_after(view, 3.0) == pytest.approx(2.0)
+        assert fragmentation_after(view, 8.0) == pytest.approx(0.0)
+
+    def test_prefers_tight_fit(self, cluster):
+        # Node 2 has exactly 3 idle GPUs; a 3-GPU pod fits with zero fragment
+        # there, while an empty node would be left with a 2-GPU fragment.
+        cluster.nodes[2].allocate_pod(build_task(TaskType.HP, gpus_per_pod=5.0))
+        decision = FGDScheduler().try_schedule(build_task(TaskType.HP, gpus_per_pod=3.0), cluster, 0.0)
+        assert decision.placements[0].node_id == cluster.nodes[2].node_id
+
+    def test_preempts_when_needed(self, cluster):
+        scheduler = FGDScheduler()
+        for i in range(4):
+            occupy(cluster, build_task(TaskType.SPOT, gpus_per_pod=8.0), node_index=i)
+        decision = scheduler.try_schedule(build_task(TaskType.HP, gpus_per_pod=8.0), cluster, 10.0)
+        assert decision is not None
+        assert decision.requires_preemption
+
+
+class TestRegistry:
+    def test_all_schedulers_available(self):
+        names = available_schedulers()
+        for expected in ("yarn-cs", "chronus", "lyra", "fgd", "gfs", "gfs-e", "gfs-sp"):
+            assert expected in names
+
+    def test_create_by_name(self):
+        assert create_scheduler("Lyra").name == "Lyra"
+        assert create_scheduler("GFS").name == "GFS"
+        assert create_scheduler("gfs-p").name == "GFS-P"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            create_scheduler("slurm")
+
+
+class TestBaselineEndToEnd:
+    @pytest.mark.parametrize("scheduler_cls", [YarnCSScheduler, ChronusScheduler, LyraScheduler, FGDScheduler])
+    def test_small_simulation_completes(self, scheduler_cls, tiny_trace):
+        cluster = Cluster.homogeneous(16, 8, GPUModel.A100)
+        metrics = run_simulation(cluster, scheduler_cls(), tiny_trace.sorted_tasks()[:120])
+        assert metrics.unfinished_tasks == 0
+        assert metrics.hp.count > 0

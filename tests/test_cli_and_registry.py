@@ -1,0 +1,54 @@
+"""Tests for the experiments CLI and miscellaneous package plumbing."""
+
+import pytest
+
+import repro
+from repro.experiments import cli
+from repro.experiments.config import ExperimentScale
+
+
+class TestPackage:
+    def test_version_and_top_level_exports(self):
+        assert repro.__version__
+        assert hasattr(repro, "GFSScheduler")
+        assert hasattr(repro, "run_simulation")
+        assert hasattr(repro, "generate_trace")
+
+    def test_subpackages_importable(self):
+        import repro.analysis
+        import repro.core.gde
+        import repro.core.pts
+        import repro.core.sqa
+        import repro.experiments
+        import repro.optim
+        import repro.schedulers
+        import repro.workloads
+
+
+class TestCLI:
+    def test_experiment_registry_covers_all_artifacts(self):
+        expected = {"table5", "table6", "table7", "table8", "table9", "table10", "fig9", "fig10", "observations"}
+        assert expected <= set(cli.EXPERIMENTS)
+
+    def test_invalid_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            cli.main(["tableX"])
+
+    def test_cli_runs_small_ablation(self, capsys, monkeypatch):
+        # Patch the table-9 runner to a fast stub so the CLI path is exercised
+        # without a full simulation.
+        monkeypatch.setitem(cli.EXPERIMENTS, "table9", lambda scale: "stub-report")
+        assert cli.main(["table9", "--scale", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "table9" in out and "stub-report" in out
+
+    def test_scale_argument_parsed(self, monkeypatch, capsys):
+        captured = {}
+
+        def fake(scale: ExperimentScale) -> str:
+            captured["scale"] = scale.name
+            return "ok"
+
+        monkeypatch.setitem(cli.EXPERIMENTS, "table5", fake)
+        cli.main(["table5", "--scale", "medium"])
+        assert captured["scale"] == "medium"

@@ -1,0 +1,150 @@
+"""Tests for temporal decomposition, feature extraction and the window dataset."""
+
+import numpy as np
+import pytest
+
+from repro.core.gde import (
+    BusinessVocabulary,
+    TemporalFeature,
+    build_window_dataset,
+    decompose,
+    decompose_batch,
+    moving_average,
+    temporal_features,
+    train_test_split_dataset,
+)
+from repro.workloads import default_organizations, generate_org_demand_matrix
+
+
+class TestMovingAverage:
+    def test_constant_series_unchanged(self):
+        series = np.full(48, 5.0)
+        assert np.allclose(moving_average(series, 25), series)
+
+    def test_length_preserved(self):
+        series = np.random.default_rng(0).normal(size=100)
+        assert moving_average(series, 25).shape == series.shape
+
+    def test_kernel_one_is_identity(self):
+        series = np.arange(10.0)
+        assert np.allclose(moving_average(series, 1), series)
+
+    def test_smooths_noise(self):
+        rng = np.random.default_rng(1)
+        series = np.sin(np.linspace(0, 8 * np.pi, 200)) + rng.normal(0, 0.5, 200)
+        smooth = moving_average(series, 25)
+        assert np.var(np.diff(smooth)) < np.var(np.diff(series))
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            moving_average(np.zeros((2, 2)), 5)
+        with pytest.raises(ValueError):
+            moving_average(np.zeros(5), 0)
+
+
+class TestDecomposition:
+    def test_components_sum_to_series(self):
+        series = np.random.default_rng(2).normal(10, 2, size=168)
+        trend, cyclical = decompose(series, 25)
+        assert np.allclose(trend + cyclical, series)
+
+    def test_batch_decomposition_matches_rowwise(self):
+        batch = np.random.default_rng(3).normal(size=(5, 96))
+        trends, cyclicals = decompose_batch(batch, 13)
+        for i in range(5):
+            t, c = decompose(batch[i], 13)
+            assert np.allclose(trends[i], t)
+            assert np.allclose(cyclicals[i], c)
+
+    def test_batch_requires_2d(self):
+        with pytest.raises(ValueError):
+            decompose_batch(np.zeros(10), 5)
+
+
+class TestTemporalFeatures:
+    def test_hour_weekday_extraction(self):
+        feature = TemporalFeature.from_hour_index(26)  # day 1, hour 2
+        assert feature.hour == 2
+        assert feature.weekday == 1
+        assert feature.holiday == 0
+
+    def test_holiday_flag(self):
+        feature = TemporalFeature.from_hour_index(24 * 5 + 3, holidays={5})
+        assert feature.holiday == 1
+
+    def test_matrix_shape_and_ranges(self):
+        matrix = temporal_features(range(0, 500, 7))
+        assert matrix.shape[1] == 3
+        assert matrix[:, 0].max() < 24
+        assert matrix[:, 1].max() < 7
+        assert set(np.unique(matrix[:, 2])) <= {0, 1}
+
+
+class TestBusinessVocabulary:
+    def test_fit_and_encode(self):
+        vocab = BusinessVocabulary().fit(
+            [
+                {"organization": "a", "cluster": "c1", "gpu_model": "A100"},
+                {"organization": "b", "cluster": "c2", "gpu_model": "A100"},
+            ]
+        )
+        assert vocab.size("organization") == 3  # includes <unk>
+        encoded = vocab.encode({"organization": "b", "cluster": "c1", "gpu_model": "A100"})
+        assert encoded.shape == (3,)
+        assert encoded[0] == 2
+
+    def test_unknown_value_maps_to_zero(self):
+        vocab = BusinessVocabulary().fit([{"organization": "a"}])
+        assert vocab.encode({"organization": "zzz"})[0] == 0
+
+    def test_encode_many_stacks(self):
+        vocab = BusinessVocabulary().fit([{"organization": "a"}, {"organization": "b"}])
+        matrix = vocab.encode_many([{"organization": "a"}, {"organization": "b"}])
+        assert matrix.shape == (2, 3)
+
+
+class TestWindowDataset:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        orgs = default_organizations()
+        history = generate_org_demand_matrix(orgs, 4 * 168, seed=0)
+        attrs = {o.name: o.business_attributes() for o in orgs}
+        return build_window_dataset(history, attrs, input_length=168, horizon=24, stride=12)
+
+    def test_window_shapes(self, dataset):
+        arrays = dataset.arrays()
+        assert arrays["X"].shape[1] == 168
+        assert arrays["Y"].shape[1] == 24
+        assert arrays["temporal"].shape == (len(dataset), 3)
+        assert arrays["business"].shape[1] == 3
+
+    def test_all_orgs_represented(self, dataset):
+        orgs = set(dataset.arrays()["orgs"])
+        assert orgs == {"org-A", "org-B", "org-C", "org-D"}
+
+    def test_normalisation_round_trip(self, dataset):
+        value = np.array([50.0, 75.0])
+        normalised = dataset.normalise_value("org-A", value)
+        assert np.allclose(dataset.denormalise_mean("org-A", normalised), value)
+
+    def test_chronological_split(self, dataset):
+        train, test = train_test_split_dataset(dataset, test_fraction=0.25)
+        assert len(train) + len(test) == len(dataset)
+        per_org_last_train = {}
+        for sample in train.samples:
+            per_org_last_train[sample.org] = max(
+                per_org_last_train.get(sample.org, -1), sample.start_hour
+            )
+        for sample in test.samples:
+            assert sample.start_hour > per_org_last_train[sample.org]
+
+    def test_short_series_skipped(self):
+        history = {"tiny": np.ones(50)}
+        dataset = build_window_dataset(history, {"tiny": {"organization": "tiny"}})
+        assert len(dataset) == 0
+
+    def test_empty_dataset_arrays_raise(self):
+        history = {"tiny": np.ones(10)}
+        dataset = build_window_dataset(history, {})
+        with pytest.raises(ValueError):
+            dataset.arrays()

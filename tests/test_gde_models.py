@@ -1,0 +1,200 @@
+"""Tests for OrgLinear, the forecasting baselines and forecast metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.gde import (
+    AutoformerLiteModel,
+    DLinearModel,
+    DeepARLiteModel,
+    FEDformerLiteModel,
+    FORECASTING_BASELINES,
+    ForecastEvaluation,
+    InformerLiteModel,
+    OrgLinear,
+    OrgLinearConfig,
+    PreviousWeekPeakModel,
+    SeasonalNaiveModel,
+    TransformerLiteModel,
+    build_window_dataset,
+    evaluate_forecast,
+    mae,
+    mape,
+    maqe,
+    mse,
+    normal_icdf,
+    rmse,
+    train_test_split_dataset,
+)
+from repro.core.gde.training import AdamOptimizer, gaussian_nll, gaussian_nll_grads, softmax, softplus
+from repro.workloads import DEFAULT_HOLIDAYS, default_organizations, generate_org_demand_matrix
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    orgs = default_organizations()
+    history = generate_org_demand_matrix(orgs, 5 * 168, seed=2)
+    attrs = {o.name: o.business_attributes() for o in orgs}
+    dataset = build_window_dataset(
+        history, attrs, input_length=168, horizon=24, stride=12, holidays=set(DEFAULT_HOLIDAYS)
+    )
+    return train_test_split_dataset(dataset, 0.3)
+
+
+class TestForecastMetrics:
+    def test_point_metrics_on_perfect_prediction(self):
+        y = np.array([[1.0, 2.0], [3.0, 4.0]])
+        assert mae(y, y) == 0.0
+        assert mse(y, y) == 0.0
+        assert rmse(y, y) == 0.0
+        assert mape(y, y) == 0.0
+
+    def test_metric_values(self):
+        y = np.array([10.0, 20.0])
+        pred = np.array([12.0, 16.0])
+        assert mae(y, pred) == pytest.approx(3.0)
+        assert mse(y, pred) == pytest.approx(10.0)
+        assert rmse(y, pred) == pytest.approx(np.sqrt(10.0))
+        assert mape(y, pred) == pytest.approx(0.2)
+
+    def test_normal_icdf_monotone_in_p(self):
+        mu, sigma = np.array([10.0]), np.array([2.0])
+        assert normal_icdf(0.95, mu, sigma)[0] > normal_icdf(0.9, mu, sigma)[0] > mu[0]
+
+    def test_normal_icdf_invalid_p(self):
+        with pytest.raises(ValueError):
+            normal_icdf(1.5, np.zeros(1), np.ones(1))
+
+    def test_maqe_normalised(self):
+        y = np.array([100.0, 100.0])
+        q = np.array([110.0, 90.0])
+        assert maqe(y, q) == pytest.approx(0.1)
+
+    def test_evaluate_forecast_bundle(self):
+        y = np.array([[10.0, 12.0]])
+        mu = np.array([[11.0, 11.0]])
+        sigma = np.array([[1.0, 1.0]])
+        ev = evaluate_forecast(y, mu, sigma, training_time=1.5)
+        assert isinstance(ev, ForecastEvaluation)
+        assert ev.training_time == 1.5
+        assert ev.maqe_95 > 0
+
+
+class TestTrainingUtilities:
+    def test_adam_reduces_quadratic_loss(self):
+        params = {"w": np.array([5.0])}
+        optimiser = AdamOptimizer(learning_rate=0.1)
+        for _ in range(200):
+            grads = {"w": 2 * params["w"]}
+            optimiser.update(params, grads)
+        assert abs(params["w"][0]) < 0.1
+
+    def test_adam_unknown_parameter(self):
+        with pytest.raises(KeyError):
+            AdamOptimizer().update({"a": np.zeros(1)}, {"b": np.zeros(1)})
+
+    def test_gaussian_nll_minimised_at_truth(self):
+        y = np.array([[1.0]])
+        good = gaussian_nll(y, np.array([[1.0]]), np.array([[0.5]]))
+        bad = gaussian_nll(y, np.array([[3.0]]), np.array([[0.5]]))
+        assert good < bad
+
+    def test_gaussian_nll_grads_shapes_and_signs(self):
+        y = np.array([[1.0, 2.0]])
+        mu = np.array([[2.0, 1.0]])
+        sigma = np.array([[1.0, 1.0]])
+        dmu, dsigma = gaussian_nll_grads(y, mu, sigma)
+        assert dmu.shape == y.shape
+        assert dmu[0, 0] > 0 and dmu[0, 1] < 0
+
+    def test_softplus_and_softmax(self):
+        assert softplus(np.array([0.0]))[0] == pytest.approx(np.log(2.0))
+        weights = softmax(np.array([1.0, 1.0, 1.0]))
+        assert np.allclose(weights, 1.0 / 3.0)
+
+
+class TestOrgLinear:
+    def test_training_reduces_loss(self, datasets):
+        train, _ = datasets
+        model = OrgLinear(OrgLinearConfig(epochs=15)).fit(train)
+        assert model.loss_history[-1] < model.loss_history[0]
+
+    def test_prediction_shapes_and_positive_sigma(self, datasets):
+        train, test = datasets
+        model = OrgLinear(OrgLinearConfig(epochs=10)).fit(train)
+        mu, sigma = model.predict(test)
+        y = test.arrays()["Y"]
+        assert mu.shape == y.shape
+        assert np.all(sigma > 0)
+
+    def test_reasonable_accuracy(self, datasets):
+        train, test = datasets
+        model = OrgLinear(OrgLinearConfig(epochs=40)).fit(train)
+        mu, sigma = model.predict(test)
+        y = test.arrays()["Y"]
+        ev = evaluate_forecast(y, mu, sigma)
+        assert ev.mape < 0.15  # single-digit percentage error on synthetic data
+
+    def test_beats_previous_week_peak(self, datasets):
+        train, test = datasets
+        y = test.arrays()["Y"]
+        orglinear = OrgLinear(OrgLinearConfig(epochs=40)).fit(train)
+        naive = PreviousWeekPeakModel().fit(train)
+        ev_org = evaluate_forecast(y, *orglinear.predict(test))
+        ev_naive = evaluate_forecast(y, *naive.predict(test))
+        assert ev_org.mae < ev_naive.mae
+
+    def test_predict_before_fit_raises(self, datasets):
+        _, test = datasets
+        with pytest.raises(RuntimeError):
+            OrgLinear().predict(test)
+
+    def test_deterministic_given_seed(self, datasets):
+        train, test = datasets
+        a = OrgLinear(OrgLinearConfig(epochs=5, seed=3)).fit(train).predict(test)[0]
+        b = OrgLinear(OrgLinearConfig(epochs=5, seed=3)).fit(train).predict(test)[0]
+        assert np.allclose(a, b)
+
+
+class TestBaselines:
+    @pytest.mark.parametrize(
+        "model_cls",
+        [
+            DLinearModel,
+            DeepARLiteModel,
+            TransformerLiteModel,
+            InformerLiteModel,
+            AutoformerLiteModel,
+            FEDformerLiteModel,
+            PreviousWeekPeakModel,
+            SeasonalNaiveModel,
+        ],
+    )
+    def test_fit_predict_shapes(self, model_cls, datasets):
+        train, test = datasets
+        model = model_cls()
+        model.fit(train)
+        mu, sigma = model.predict(test)
+        y = test.arrays()["Y"]
+        assert mu.shape == y.shape
+        assert np.all(sigma > 0)
+        assert model.training_time >= 0.0
+
+    def test_registry_contains_the_six_figure10_baselines(self):
+        assert set(FORECASTING_BASELINES) == {
+            "Transformer",
+            "Informer",
+            "Autoformer",
+            "FEDformer",
+            "DLinear",
+            "DeepAR",
+        }
+
+    def test_dlinear_better_than_seasonal_naive(self, datasets):
+        train, test = datasets
+        y = test.arrays()["Y"]
+        dlinear = DLinearModel().fit(train)
+        naive = SeasonalNaiveModel().fit(train)
+        assert evaluate_forecast(y, *dlinear.predict(test)).mae <= evaluate_forecast(
+            y, *naive.predict(test)
+        ).mae * 1.1

@@ -1,0 +1,125 @@
+"""Tests for the assembled GFS scheduler and its ablation variants."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, GPUModel, SimulatorConfig, TaskType, run_simulation
+from repro.core import ABLATION_OVERRIDES, GFSConfig, GFSScheduler, make_ablation
+from repro.core.gde import PreviousWeekPeakForecaster, SeasonalQuantileForecaster
+from tests.conftest import build_task
+
+
+@pytest.fixture
+def flat_history():
+    return {"org-A": np.full(336, 100.0), "org-B": np.full(336, 60.0)}
+
+
+@pytest.fixture
+def started(flat_history):
+    """A GFS scheduler bound to a 32-node cluster with quota initialised."""
+    cluster = Cluster.homogeneous(32, 8, GPUModel.A100)
+    scheduler = GFSScheduler(org_history=flat_history)
+    scheduler.on_simulation_start(cluster, now=0.0)
+    return cluster, scheduler
+
+
+class TestConstruction:
+    def test_forecaster_selection(self, flat_history):
+        assert isinstance(GFSScheduler(GFSConfig(forecaster="seasonal")).gde.forecaster,
+                          SeasonalQuantileForecaster)
+        assert isinstance(GFSScheduler(GFSConfig(forecaster="prev-week-peak")).gde.forecaster,
+                          PreviousWeekPeakForecaster)
+        with pytest.raises(ValueError):
+            GFSScheduler(GFSConfig(forecaster="oracle"))
+
+    def test_ablation_overrides(self):
+        assert make_ablation("gfs-e").config.forecaster == "prev-week-peak"
+        assert make_ablation("gfs-d").config.adapt_eta is False
+        assert make_ablation("gfs-s").config.use_colocation is False
+        assert make_ablation("gfs-p").config.random_preemption is True
+        sp = make_ablation("gfs-sp")
+        assert sp.config.random_preemption and not sp.config.use_eviction_awareness
+        assert set(ABLATION_OVERRIDES) == {"gfs", "gfs-e", "gfs-d", "gfs-s", "gfs-p", "gfs-sp"}
+
+    def test_unknown_ablation_raises(self):
+        with pytest.raises(KeyError):
+            make_ablation("gfs-x")
+
+    def test_ablation_names(self):
+        assert make_ablation("gfs").name == "GFS"
+        assert make_ablation("gfs-sp").name == "GFS-SP"
+
+
+class TestQuotaIntegration:
+    def test_quota_initialised_on_start(self, started):
+        _, scheduler = started
+        assert scheduler.sqa is not None
+        # Capacity 256, predicted HP demand 160 -> quota near 96.
+        assert 0.0 < scheduler.current_quota() <= 256.0
+
+    def test_spot_rejected_beyond_quota(self, started):
+        cluster, scheduler = started
+        scheduler.sqa.current_quota = 8.0
+        small = build_task(TaskType.SPOT, gpus_per_pod=4.0)
+        big = build_task(TaskType.SPOT, gpus_per_pod=4.0, num_pods=4)
+        assert scheduler.try_schedule(small, cluster, 0.0) is not None
+        assert scheduler.try_schedule(big, cluster, 0.0) is None
+
+    def test_hp_ignores_quota(self, started):
+        cluster, scheduler = started
+        scheduler.sqa.current_quota = 0.0
+        hp = build_task(TaskType.HP, gpus_per_pod=8.0)
+        assert scheduler.try_schedule(hp, cluster, 0.0) is not None
+
+    def test_admitted_spot_gets_guarantee(self, started):
+        cluster, scheduler = started
+        spot = build_task(TaskType.SPOT, gpus_per_pod=1.0)
+        scheduler.try_schedule(spot, cluster, 0.0)
+        assert spot.guaranteed_hours == scheduler.config.guarantee_hours
+
+    def test_tick_updates_quota_and_observes_demand(self, started):
+        cluster, scheduler = started
+        before = len(scheduler.sqa.history)
+        scheduler.on_tick(cluster, now=3600.0, pending=[])
+        assert len(scheduler.sqa.history) == before + 1
+        # The observed demand for the current hour was recorded.
+        hour = scheduler._hour_index(3600.0)
+        assert len(scheduler.gde.forecaster.history["org-A"]) >= hour
+
+    def test_eviction_feedback_only_counts_guarantee_violations(self, started):
+        cluster, scheduler = started
+        young = build_task(TaskType.SPOT, gpus_per_pod=1.0)
+        young.run_logs.append(__import__("repro.cluster.task", fromlist=["RunLog"]).RunLog(start=0.0))
+        old = build_task(TaskType.SPOT, gpus_per_pod=1.0)
+        old.run_logs.append(__import__("repro.cluster.task", fromlist=["RunLog"]).RunLog(start=0.0))
+        scheduler.on_task_evicted(young, cluster, now=600.0)          # violated guarantee
+        scheduler.on_task_evicted(old, cluster, now=2 * 3600.0)      # past the guarantee
+        assert len(scheduler._spot_evictions) == 1
+
+
+class TestEndToEnd:
+    def _run(self, scheduler_factory, trace, nodes=16):
+        cluster = Cluster.homogeneous(nodes, 8, GPUModel.A100)
+        scheduler = scheduler_factory(trace)
+        return run_simulation(cluster, scheduler, trace.sorted_tasks(), SimulatorConfig())
+
+    def test_gfs_full_simulation(self, tiny_trace):
+        metrics = self._run(lambda t: GFSScheduler(org_history=t.org_history), tiny_trace)
+        assert metrics.unfinished_tasks == 0
+        assert metrics.hp.eviction_rate == 0.0
+        assert metrics.spot.eviction_rate < 0.5
+
+    def test_gfs_keeps_hp_queuing_low(self, tiny_trace):
+        metrics = self._run(lambda t: GFSScheduler(org_history=t.org_history), tiny_trace)
+        assert metrics.hp.jqt_mean < 600.0
+
+    @pytest.mark.parametrize("variant", ["gfs-e", "gfs-d", "gfs-s", "gfs-p", "gfs-sp"])
+    def test_ablation_variants_run(self, variant, tiny_trace):
+        metrics = self._run(
+            lambda t: make_ablation(variant, org_history=t.org_history), tiny_trace
+        )
+        assert metrics.unfinished_tasks == 0
+
+    def test_gfs_without_history_still_works(self, tiny_trace):
+        metrics = self._run(lambda t: GFSScheduler(), tiny_trace)
+        assert metrics.unfinished_tasks == 0

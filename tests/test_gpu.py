@@ -1,0 +1,80 @@
+"""Unit tests for GPU device allocation state."""
+
+import pytest
+
+from repro.cluster import GPUDevice, GPUModel
+from repro.cluster.gpu import HOURLY_PRICE_USD
+
+
+def make_device() -> GPUDevice:
+    return GPUDevice(index=0, model=GPUModel.A100)
+
+
+class TestGPUDevice:
+    def test_new_device_is_idle(self):
+        device = make_device()
+        assert device.is_idle
+        assert device.used_fraction == 0.0
+        assert device.free_fraction == 1.0
+
+    def test_whole_card_allocation(self):
+        device = make_device()
+        device.allocate("task-1", 1.0)
+        assert not device.is_idle
+        assert device.used_fraction == pytest.approx(1.0)
+        assert device.free_fraction == pytest.approx(0.0)
+
+    def test_fractional_allocation_accumulates(self):
+        device = make_device()
+        device.allocate("task-1", 0.25)
+        device.allocate("task-2", 0.5)
+        assert device.used_fraction == pytest.approx(0.75)
+        assert device.free_fraction == pytest.approx(0.25)
+
+    def test_whole_card_requires_idle_device(self):
+        device = make_device()
+        device.allocate("task-1", 0.25)
+        assert not device.can_fit(1.0)
+        with pytest.raises(ValueError):
+            device.allocate("task-2", 1.0)
+
+    def test_fractional_overflow_rejected(self):
+        device = make_device()
+        device.allocate("task-1", 0.7)
+        assert not device.can_fit(0.5)
+        with pytest.raises(ValueError):
+            device.allocate("task-2", 0.5)
+
+    def test_release_returns_freed_fraction(self):
+        device = make_device()
+        device.allocate("task-1", 0.5)
+        freed = device.release("task-1")
+        assert freed == pytest.approx(0.5)
+        assert device.is_idle
+
+    def test_release_unknown_task_is_noop(self):
+        device = make_device()
+        assert device.release("ghost") == 0.0
+        assert device.is_idle
+
+    def test_same_task_can_hold_multiple_fractions(self):
+        device = make_device()
+        device.allocate("task-1", 0.2)
+        device.allocate("task-1", 0.3)
+        assert device.allocations["task-1"] == pytest.approx(0.5)
+        device.release("task-1")
+        assert device.free_fraction == pytest.approx(1.0)
+
+    def test_used_fraction_resets_exactly_after_release(self):
+        device = make_device()
+        for i in range(10):
+            device.allocate(f"t{i}", 0.1)
+        for i in range(10):
+            device.release(f"t{i}")
+        assert device.used_fraction == 0.0
+        assert device.is_idle
+
+
+def test_all_models_have_prices():
+    for model in GPUModel:
+        assert HOURLY_PRICE_USD[model] > 0

@@ -1,0 +1,91 @@
+"""Unit tests for JCT/JQT/eviction metric computation."""
+
+import math
+
+import pytest
+
+from repro.cluster import TaskType, compute_class_metrics, compute_metrics, improvement, percentile
+from repro.cluster.task import RunLog
+from tests.conftest import build_task
+
+
+class TestPercentile:
+    def test_empty_is_nan(self):
+        assert math.isnan(percentile([], 50))
+
+    def test_single_value(self):
+        assert percentile([42.0], 99) == 42.0
+
+    def test_median_interpolation(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        values = list(map(float, range(1, 101)))
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 100.0
+        assert percentile(values, 99) == pytest.approx(99.01)
+
+
+class TestClassMetrics:
+    def _finished_task(self, task_type, jct, jqt, evictions=0, runs=1):
+        task = build_task(task_type, duration=max(jct - jqt, 1.0))
+        task.finish_time = task.submit_time + jct
+        task.total_queue_time = jqt
+        task.eviction_count = evictions
+        task.run_logs = [RunLog(start=0.0) for _ in range(runs)]
+        return task
+
+    def test_mean_and_p99(self):
+        tasks = [self._finished_task(TaskType.HP, jct, 10.0) for jct in (100.0, 200.0, 300.0)]
+        metrics = compute_class_metrics(tasks)
+        assert metrics.count == 3
+        assert metrics.jct_mean == pytest.approx(200.0)
+        assert metrics.jqt_mean == pytest.approx(10.0)
+
+    def test_eviction_rate_counts_runs(self):
+        evicted = self._finished_task(TaskType.SPOT, 500.0, 50.0, evictions=1, runs=2)
+        clean = self._finished_task(TaskType.SPOT, 300.0, 0.0, evictions=0, runs=1)
+        metrics = compute_class_metrics([evicted, clean])
+        assert metrics.total_runs == 3
+        assert metrics.total_evictions == 1
+        assert metrics.eviction_rate == pytest.approx(1.0 / 3.0)
+
+    def test_unfinished_tasks_excluded_from_jct(self):
+        unfinished = build_task(TaskType.SPOT)
+        finished = self._finished_task(TaskType.SPOT, 100.0, 0.0)
+        metrics = compute_class_metrics([unfinished, finished])
+        assert metrics.count == 1
+        assert metrics.jct_mean == pytest.approx(100.0)
+
+
+class TestSimulationMetrics:
+    def test_split_by_class_and_allocation_series(self):
+        hp = build_task(TaskType.HP, duration=100.0)
+        hp.finish_time = 100.0
+        spot = build_task(TaskType.SPOT, duration=50.0)
+        spot.finish_time = 80.0
+        spot.total_queue_time = 30.0
+        metrics = compute_metrics([hp, spot], allocation_series=[0.5, 0.7], makespan=100.0)
+        assert metrics.hp.count == 1
+        assert metrics.spot.count == 1
+        assert metrics.allocation_rate_mean == pytest.approx(0.6)
+        assert metrics.unfinished_tasks == 0
+        assert "eviction" in metrics.summary()
+
+    def test_as_dict_round_trip(self):
+        hp = build_task(TaskType.HP, duration=100.0)
+        hp.finish_time = 150.0
+        payload = compute_metrics([hp]).as_dict()
+        assert payload["hp"]["count"] == 1
+        assert "spot" in payload
+
+
+class TestImprovement:
+    def test_positive_improvement(self):
+        assert improvement(100.0, 80.0) == pytest.approx(0.2)
+
+    def test_zero_baseline(self):
+        assert improvement(0.0, 10.0) == 0.0
+
+    def test_regression_is_negative(self):
+        assert improvement(100.0, 120.0) == pytest.approx(-0.2)

@@ -1,0 +1,109 @@
+"""Tests for the Eq. 12 optimisation model and the toy exact solver."""
+
+import pytest
+
+from repro.optim import (
+    Assignment,
+    MILPNode,
+    MILPTask,
+    SchedulingProblem,
+    greedy_reference,
+    solve_exact,
+)
+
+
+def small_problem():
+    tasks = [
+        MILPTask("hp-1", num_pods=1, gpus_per_pod=4, is_hp=True),
+        MILPTask("hp-2", num_pods=2, gpus_per_pod=2, is_hp=True),
+        MILPTask("spot-1", num_pods=1, gpus_per_pod=2, is_hp=False),
+    ]
+    nodes = [MILPNode("n1", free_gpus=8), MILPNode("n2", free_gpus=4)]
+    return SchedulingProblem(tasks=tasks, nodes=nodes)
+
+
+class TestFeasibility:
+    def test_capacity_constraint(self):
+        problem = small_problem()
+        bad = Assignment(pods={"hp-1": ["n2"], "hp-2": ["n2", "n2"], "spot-1": ["n2"]})
+        assert not problem.check_feasible(bad)
+
+    def test_gang_constraint(self):
+        problem = small_problem()
+        partial = Assignment(pods={"hp-2": ["n1"]})  # needs two pods
+        assert not problem.check_feasible(partial)
+
+    def test_hp_cannot_be_preempted(self):
+        problem = small_problem()
+        bad = Assignment(preempted=["hp-1"])
+        assert not problem.check_feasible(bad)
+
+    def test_valid_assignment(self):
+        problem = small_problem()
+        ok = Assignment(pods={"hp-1": ["n1"], "hp-2": ["n1", "n2"], "spot-1": ["n2"]})
+        assert problem.check_feasible(ok)
+
+    def test_running_spot_occupies_capacity_unless_preempted(self):
+        tasks = [
+            MILPTask("spot-r", num_pods=1, gpus_per_pod=8, is_hp=False, running_on="n1"),
+            MILPTask("hp-1", num_pods=1, gpus_per_pod=8, is_hp=True),
+        ]
+        problem = SchedulingProblem(tasks=tasks, nodes=[MILPNode("n1", free_gpus=8)])
+        blocked = Assignment(pods={"hp-1": ["n1"]})
+        assert not problem.check_feasible(blocked)
+        with_preemption = Assignment(pods={"hp-1": ["n1"]}, preempted=["spot-r"])
+        assert problem.check_feasible(with_preemption)
+
+
+class TestObjective:
+    def test_scheduling_more_work_lowers_objective(self):
+        problem = small_problem()
+        empty = Assignment()
+        full = Assignment(pods={"hp-1": ["n1"], "hp-2": ["n1", "n2"], "spot-1": ["n2"]})
+        assert problem.objective_value(full) < problem.objective_value(empty)
+
+    def test_preemption_raises_objective(self):
+        tasks = [
+            MILPTask("spot-r", num_pods=1, gpus_per_pod=2, is_hp=False, running_on="n1",
+                     preemption_waste=100.0),
+        ]
+        problem = SchedulingProblem(tasks=tasks, nodes=[MILPNode("n1", free_gpus=8)])
+        assert problem.objective_value(Assignment(preempted=["spot-r"])) > problem.objective_value(
+            Assignment()
+        )
+
+
+class TestSolvers:
+    def test_exact_solution_is_feasible_and_not_worse_than_greedy(self):
+        problem = small_problem()
+        exact = solve_exact(problem)
+        greedy = greedy_reference(problem)
+        assert problem.check_feasible(exact)
+        assert problem.check_feasible(greedy)
+        assert exact.objective <= greedy.objective + 1e-9
+
+    def test_exact_schedules_everything_when_capacity_allows(self):
+        problem = small_problem()
+        exact = solve_exact(problem)
+        assert all(exact.is_assigned(t.task_id) for t in problem.tasks)
+
+    def test_exact_prefers_preempting_low_waste_spot(self):
+        tasks = [
+            MILPTask("spot-cheap", 1, 4, is_hp=False, running_on="n1", preemption_waste=1.0),
+            MILPTask("spot-pricey", 1, 4, is_hp=False, running_on="n1", preemption_waste=100.0),
+            MILPTask("hp-1", 1, 4, is_hp=True),
+        ]
+        # A large utilisation weight makes scheduling the HP task worthwhile
+        # even at the cost of one preemption, so the solver must pick the
+        # cheaper victim.
+        problem = SchedulingProblem(tasks=tasks, nodes=[MILPNode("n1", free_gpus=8)], alpha=5.0)
+        exact = solve_exact(problem)
+        assert exact.is_assigned("hp-1")
+        assert "spot-cheap" in exact.preempted
+        assert "spot-pricey" not in exact.preempted
+
+    def test_solver_guard_on_large_instances(self):
+        tasks = [MILPTask(f"t{i}", 2, 1, is_hp=True) for i in range(12)]
+        nodes = [MILPNode(f"n{i}", 8) for i in range(12)]
+        with pytest.raises(ValueError):
+            solve_exact(SchedulingProblem(tasks=tasks, nodes=nodes), max_states=1000)

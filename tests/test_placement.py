@@ -1,0 +1,138 @@
+"""Tests for the shared placement machinery (NodeView, find_placement)."""
+
+import pytest
+
+from repro.cluster import Cluster, GPUModel, PodPlacement, TaskType
+from repro.schedulers.placement import (
+    NodeView,
+    build_views,
+    filter_nodes,
+    find_placement,
+    gpus_held_on_node,
+    spot_tasks_on_node,
+    virtually_preempt_task,
+)
+from tests.conftest import build_task
+
+
+@pytest.fixture
+def cluster():
+    return Cluster.homogeneous(3, 8, GPUModel.A100)
+
+
+class TestNodeView:
+    def test_view_reflects_node_state(self, cluster):
+        node = cluster.nodes[0]
+        node.allocate_pod(build_task(TaskType.HP, gpus_per_pod=3.0))
+        view = NodeView.from_node(node)
+        assert view.idle_gpus == 5
+        assert view.free_capacity == pytest.approx(5.0)
+
+    def test_assign_pod_updates_view_not_node(self, cluster):
+        node = cluster.nodes[0]
+        view = NodeView.from_node(node)
+        view.assign_pod(4.0)
+        assert view.idle_gpus == 4
+        assert node.idle_gpus == 8
+
+    def test_assign_pod_rejects_overflow(self, cluster):
+        view = NodeView.from_node(cluster.nodes[0])
+        view.assign_pod(8.0)
+        with pytest.raises(ValueError):
+            view.assign_pod(1.0)
+
+    def test_clone_is_independent(self, cluster):
+        view = NodeView.from_node(cluster.nodes[0])
+        clone = view.clone()
+        clone.assign_pod(8.0)
+        assert view.idle_gpus == 8
+
+    def test_virtual_preemption_restores_capacity(self, cluster):
+        node = cluster.nodes[0]
+        spot = build_task(TaskType.SPOT, gpus_per_pod=4.0)
+        node.allocate_pod(spot)
+        spot.placements = [PodPlacement(node_id=node.node_id, gpu_indices=())]
+        view = NodeView.from_node(node)
+        assert view.idle_gpus == 4
+        view.virtually_preempt(spot)
+        assert view.idle_gpus == 8
+        assert spot.task_id in view.preempted
+        assert node.idle_gpus == 4  # real node untouched
+
+    def test_virtually_preempt_task_handles_multi_node(self, cluster):
+        spot = build_task(TaskType.SPOT, num_pods=2, gpus_per_pod=4.0)
+        for node in cluster.nodes[:2]:
+            node.allocate_pod(spot)
+        spot.placements = [
+            PodPlacement(node_id=cluster.nodes[0].node_id, gpu_indices=()),
+            PodPlacement(node_id=cluster.nodes[1].node_id, gpu_indices=()),
+        ]
+        views = {n.node_id: NodeView.from_node(n) for n in cluster.nodes}
+        virtually_preempt_task(views, spot)
+        assert views[cluster.nodes[0].node_id].idle_gpus == 8
+        assert views[cluster.nodes[1].node_id].idle_gpus == 8
+
+
+class TestFindPlacement:
+    def test_single_pod_placement(self, cluster):
+        task = build_task(TaskType.HP, gpus_per_pod=8.0)
+        placements = find_placement(task, cluster.nodes)
+        assert placements is not None
+        assert len(placements) == 1
+
+    def test_gang_placement_across_nodes(self, cluster):
+        task = build_task(TaskType.HP, num_pods=3, gpus_per_pod=8.0)
+        placements = find_placement(task, cluster.nodes)
+        assert placements is not None
+        assert len({p.node_id for p in placements}) == 3
+
+    def test_infeasible_returns_none(self, cluster):
+        task = build_task(TaskType.HP, num_pods=4, gpus_per_pod=8.0)
+        assert find_placement(task, cluster.nodes) is None
+
+    def test_default_policy_is_best_fit(self, cluster):
+        cluster.nodes[1].allocate_pod(build_task(TaskType.HP, gpus_per_pod=6.0))
+        task = build_task(TaskType.HP, gpus_per_pod=2.0)
+        placements = find_placement(task, cluster.nodes)
+        assert placements[0].node_id == cluster.nodes[1].node_id
+
+    def test_custom_score_preferred(self, cluster):
+        preferred = cluster.nodes[2].node_id
+
+        def score(node, view, task):
+            return 1.0 if node.node_id == preferred else 0.0
+
+        task = build_task(TaskType.HP, gpus_per_pod=1.0)
+        placements = find_placement(task, cluster.nodes, score=score)
+        assert placements[0].node_id == preferred
+
+    def test_caller_views_not_mutated(self, cluster):
+        task = build_task(TaskType.HP, num_pods=2, gpus_per_pod=8.0)
+        views = {n.node_id: NodeView.from_node(n) for n in cluster.nodes}
+        find_placement(task, cluster.nodes, views=views)
+        assert all(v.idle_gpus == 8 for v in views.values())
+
+    def test_model_filtering(self, cluster):
+        task = build_task(TaskType.HP, gpus_per_pod=1.0, gpu_model=GPUModel.H800)
+        assert filter_nodes(task, cluster.nodes) == []
+        assert find_placement(task, cluster.nodes) is None
+
+    def test_fractional_pod_placement(self, cluster):
+        task = build_task(TaskType.SPOT, gpus_per_pod=0.5)
+        placements = find_placement(task, cluster.nodes)
+        assert placements is not None
+        assert placements[0].fraction == pytest.approx(0.5)
+
+
+class TestHelpers:
+    def test_spot_tasks_on_node_and_gpus_held(self, cluster):
+        spot = build_task(TaskType.SPOT, gpus_per_pod=2.0)
+        node = cluster.nodes[0]
+        cluster.place_task(spot, [PodPlacement(node_id=node.node_id, gpu_indices=())])
+        assert spot_tasks_on_node(node, cluster) == [spot]
+        assert gpus_held_on_node(spot, node) == pytest.approx(2.0)
+        assert gpus_held_on_node(spot, cluster.nodes[1]) == 0.0
+
+    def test_build_views_covers_all_nodes(self, cluster):
+        views = build_views(cluster.nodes)
+        assert len(views) == len(cluster.nodes)

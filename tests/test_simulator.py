@@ -1,0 +1,179 @@
+"""Unit and integration tests for the discrete-event simulator."""
+
+import pytest
+
+from repro.cluster import (
+    Cluster,
+    ClusterSimulator,
+    GPUModel,
+    PodPlacement,
+    SchedulingDecision,
+    SimulationError,
+    SimulatorConfig,
+    TaskState,
+    TaskType,
+    run_simulation,
+)
+from repro.schedulers import YarnCSScheduler
+from repro.schedulers.base import Scheduler
+from repro.schedulers.placement import find_placement
+from tests.conftest import build_task
+
+
+class FirstFitScheduler(Scheduler):
+    """Minimal scheduler used to exercise the simulator in isolation."""
+
+    name = "first-fit"
+
+    def try_schedule(self, task, cluster, now):
+        placements = find_placement(task, cluster.nodes)
+        if placements is None:
+            return None
+        return SchedulingDecision(placements=placements)
+
+
+class PreemptEverythingScheduler(FirstFitScheduler):
+    """HP tasks evict every running spot task when they do not fit."""
+
+    name = "preempt-everything"
+
+    def try_schedule(self, task, cluster, now):
+        decision = super().try_schedule(task, cluster, now)
+        if decision is not None or task.is_spot:
+            return decision
+        victims = [t.task_id for t in cluster.running_spot_tasks()]
+        if not victims:
+            return None
+        # The simulator applies evictions before materialising the placement,
+        # so placing on the first node is valid once the victims are gone.
+        placements = [
+            PodPlacement(node_id=cluster.nodes[0].node_id, gpu_indices=(), fraction=task.gpus_per_pod)
+            for _ in range(task.num_pods)
+        ]
+        return SchedulingDecision(placements=placements, preempted_task_ids=victims)
+
+
+def simple_cluster(nodes=2):
+    return Cluster.homogeneous(nodes, 8, GPUModel.A100)
+
+
+class TestBasicExecution:
+    def test_single_task_runs_to_completion(self):
+        cluster = simple_cluster()
+        task = build_task(TaskType.HP, gpus_per_pod=4.0, duration=1000.0, submit_time=0.0)
+        metrics = run_simulation(cluster, FirstFitScheduler(), [task])
+        assert task.state is TaskState.COMPLETED
+        assert task.finish_time == pytest.approx(1000.0)
+        assert metrics.hp.count == 1
+        assert metrics.hp.jqt_mean == pytest.approx(0.0)
+
+    def test_queued_task_waits_for_capacity(self):
+        cluster = simple_cluster(nodes=1)
+        first = build_task(TaskType.HP, gpus_per_pod=8.0, duration=1000.0, submit_time=0.0)
+        second = build_task(TaskType.HP, gpus_per_pod=8.0, duration=500.0, submit_time=10.0)
+        run_simulation(cluster, FirstFitScheduler(), [first, second])
+        assert second.first_start_time == pytest.approx(1000.0)
+        assert second.total_queue_time == pytest.approx(990.0)
+        assert second.finish_time == pytest.approx(1500.0)
+
+    def test_empty_submission_raises(self):
+        simulator = ClusterSimulator(simple_cluster(), FirstFitScheduler())
+        with pytest.raises(SimulationError):
+            simulator.run()
+
+    def test_max_time_stops_early(self):
+        cluster = simple_cluster()
+        task = build_task(TaskType.HP, gpus_per_pod=1.0, duration=10_000.0)
+        config = SimulatorConfig(max_time=500.0)
+        metrics = run_simulation(cluster, FirstFitScheduler(), [task], config)
+        assert metrics.unfinished_tasks == 1
+
+    def test_allocation_samples_collected(self):
+        cluster = simple_cluster()
+        task = build_task(TaskType.HP, gpus_per_pod=8.0, duration=2000.0)
+        config = SimulatorConfig(tick_interval=300.0)
+        simulator = ClusterSimulator(cluster, FirstFitScheduler(), config)
+        simulator.submit(task)
+        simulator.run()
+        assert len(simulator.allocation_samples) > 0
+        assert max(simulator.allocation_samples) <= 1.0
+
+
+class TestPreemptionMechanics:
+    def test_preempted_spot_requeues_and_finishes(self):
+        cluster = simple_cluster(nodes=1)
+        spot = build_task(
+            TaskType.SPOT, gpus_per_pod=8.0, duration=2000.0, submit_time=0.0,
+            checkpoint_interval=600.0,
+        )
+        hp = build_task(TaskType.HP, gpus_per_pod=8.0, duration=1000.0, submit_time=900.0)
+        config = SimulatorConfig(preemption_grace_period=30.0, restart_overhead=0.0)
+        metrics = run_simulation(cluster, PreemptEverythingScheduler(), [spot, hp], config)
+        assert hp.state is TaskState.COMPLETED
+        assert spot.state is TaskState.COMPLETED
+        assert spot.eviction_count == 1
+        # Progress rolled back to the 600s checkpoint: total work re-done.
+        assert spot.finish_time > 2000.0
+        assert metrics.spot.eviction_rate == pytest.approx(0.5)
+
+    def test_hp_tasks_are_never_evicted(self):
+        cluster = simple_cluster(nodes=1)
+        hp_running = build_task(TaskType.HP, gpus_per_pod=8.0, duration=2000.0, submit_time=0.0)
+        hp_new = build_task(TaskType.HP, gpus_per_pod=8.0, duration=500.0, submit_time=100.0)
+
+        class BadScheduler(FirstFitScheduler):
+            def try_schedule(self, task, cluster, now):
+                if task is hp_new:
+                    from repro.cluster import PodPlacement
+
+                    return SchedulingDecision(
+                        placements=[
+                            PodPlacement(node_id=cluster.nodes[0].node_id, gpu_indices=())
+                        ],
+                        preempted_task_ids=[hp_running.task_id],
+                    )
+                return super().try_schedule(task, cluster, now)
+
+        with pytest.raises(SimulationError):
+            run_simulation(cluster, BadScheduler(), [hp_running, hp_new])
+
+    def test_grace_period_delays_preemptor_start(self):
+        cluster = simple_cluster(nodes=1)
+        spot = build_task(TaskType.SPOT, gpus_per_pod=8.0, duration=3000.0, submit_time=0.0)
+        hp = build_task(TaskType.HP, gpus_per_pod=8.0, duration=500.0, submit_time=600.0)
+        config = SimulatorConfig(preemption_grace_period=120.0, restart_overhead=0.0)
+        run_simulation(cluster, PreemptEverythingScheduler(), [spot, hp], config)
+        assert hp.first_start_time == pytest.approx(600.0 + 120.0)
+
+    def test_eviction_recorded_on_node_history(self):
+        cluster = simple_cluster(nodes=1)
+        spot = build_task(TaskType.SPOT, gpus_per_pod=8.0, duration=3000.0, submit_time=0.0)
+        hp = build_task(TaskType.HP, gpus_per_pod=8.0, duration=500.0, submit_time=600.0)
+        run_simulation(cluster, PreemptEverythingScheduler(), [spot, hp])
+        assert cluster.nodes[0].eviction_count_since(1e9, 1e9) == 1
+        assert cluster.evicted_spot_runs == 1
+
+
+class TestInvariants:
+    def test_capacity_never_exceeded_with_real_scheduler(self, tiny_trace):
+        cluster = Cluster.homogeneous(16, 8, GPUModel.A100)
+        config = SimulatorConfig(tick_interval=300.0)
+        simulator = ClusterSimulator(cluster, YarnCSScheduler(), config)
+
+        original_tick = simulator._handle_tick
+
+        def checked_tick():
+            original_tick()
+            for node in cluster.nodes:
+                assert node.allocated_gpus <= node.total_gpus + 1e-6
+
+        simulator._handle_tick = checked_tick
+        simulator.submit_all(tiny_trace.sorted_tasks()[:150])
+        metrics = simulator.run()
+        assert metrics.unfinished_tasks == 0
+
+    def test_all_tasks_eventually_finish(self, tiny_trace):
+        cluster = Cluster.homogeneous(16, 8, GPUModel.A100)
+        metrics = run_simulation(cluster, YarnCSScheduler(), tiny_trace.sorted_tasks()[:200])
+        assert metrics.unfinished_tasks == 0
+        assert metrics.hp.jct_mean > 0

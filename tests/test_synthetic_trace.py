@@ -1,0 +1,115 @@
+"""Tests for synthetic trace generation and trace (de)serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import GPUModel, TaskType
+from repro.workloads import (
+    HP_GANG_FRACTION,
+    SPOT_GANG_FRACTION,
+    SyntheticTraceGenerator,
+    Trace,
+    WorkloadConfig,
+    generate_legacy_2020_requests,
+    generate_modern_2024_requests,
+    generate_trace,
+)
+
+
+@pytest.fixture(scope="module")
+def calibration_trace():
+    """A larger trace used to verify distributional calibration."""
+    config = WorkloadConfig(cluster_gpus=2048.0, duration_hours=24.0, seed=9)
+    return SyntheticTraceGenerator(config).generate()
+
+
+class TestTraceGeneration:
+    def test_tasks_sorted_and_within_window(self, calibration_trace):
+        tasks = calibration_trace.sorted_tasks()
+        times = [t.submit_time for t in tasks]
+        assert times == sorted(times)
+        assert max(times) <= 24.0 * 3600.0
+
+    def test_both_classes_present(self, calibration_trace):
+        assert len(calibration_trace.hp_tasks) > 100
+        assert len(calibration_trace.spot_tasks) > 20
+
+    def test_gpu_size_mix_close_to_table3(self, calibration_trace):
+        stats = calibration_trace.statistics()
+        # One-GPU requests dominate and full-node requests are substantial.
+        assert stats.hp_gpu_histogram.get("1", 0.0) == pytest.approx(0.55, abs=0.10)
+        assert stats.hp_gpu_histogram.get("8", 0.0) == pytest.approx(0.24, abs=0.10)
+        assert stats.spot_gpu_histogram.get("1", 0.0) == pytest.approx(0.67, abs=0.10)
+
+    def test_gang_fractions_close_to_table3(self, calibration_trace):
+        stats = calibration_trace.statistics()
+        assert stats.hp_gang_fraction == pytest.approx(HP_GANG_FRACTION, abs=0.05)
+        assert stats.spot_gang_fraction == pytest.approx(SPOT_GANG_FRACTION, abs=0.08)
+
+    def test_durations_clipped(self, calibration_trace):
+        config = WorkloadConfig()
+        for task in calibration_trace.tasks:
+            assert config.min_runtime <= task.duration <= config.max_runtime
+
+    def test_spot_scale_increases_spot_tasks(self):
+        low = generate_trace(512.0, duration_hours=12.0, spot_scale=1.0, seed=2)
+        high = generate_trace(512.0, duration_hours=12.0, spot_scale=4.0, seed=2)
+        assert len(high.spot_tasks) > 2 * len(low.spot_tasks)
+        # HP stream is unchanged by the spot scaling (same seed).
+        assert len(high.hp_tasks) == pytest.approx(len(low.hp_tasks), rel=0.2)
+
+    def test_org_history_aligned_with_hp_demand(self, calibration_trace):
+        total_history_mean = sum(float(np.mean(v)) for v in calibration_trace.org_history.values())
+        horizon = calibration_trace.metadata["duration_hours"] * 3600.0
+        hp_work = sum(t.total_gpus * t.duration for t in calibration_trace.hp_tasks)
+        fluid_mean = hp_work / horizon
+        assert total_history_mean == pytest.approx(fluid_mean, rel=0.35)
+
+    def test_history_is_multiple_of_full_days(self, calibration_trace):
+        for series in calibration_trace.org_history.values():
+            assert len(series) % 24 == 0
+
+    def test_metadata_recorded(self, calibration_trace):
+        meta = calibration_trace.metadata
+        assert meta["cluster_gpus"] == 2048.0
+        assert meta["num_hp"] == len(calibration_trace.hp_tasks)
+
+    def test_determinism_per_seed(self):
+        a = generate_trace(256.0, duration_hours=6.0, seed=5)
+        b = generate_trace(256.0, duration_hours=6.0, seed=5)
+        assert len(a) == len(b)
+        assert [t.submit_time for t in a.tasks[:20]] == [t.submit_time for t in b.tasks[:20]]
+
+
+class TestFigure2Samples:
+    def test_legacy_requests_mostly_partial(self):
+        samples = generate_legacy_2020_requests(2000, seed=1)
+        assert np.mean(np.array(samples) < 1.0) > 0.6
+
+    def test_modern_requests_mostly_whole_and_full_node(self):
+        samples = np.array(generate_modern_2024_requests(2000, seed=1))
+        assert np.mean(samples >= 1.0) > 0.95
+        assert np.mean(samples >= 8.0) == pytest.approx(0.7, abs=0.05)
+
+
+class TestTraceSerialisation:
+    def test_round_trip_preserves_tasks_and_history(self, tmp_path, tiny_trace):
+        path = tmp_path / "trace.json"
+        tiny_trace.save(path)
+        loaded = Trace.load(path)
+        assert len(loaded) == len(tiny_trace)
+        assert loaded.metadata["seed"] == tiny_trace.metadata["seed"]
+        original = tiny_trace.sorted_tasks()[0]
+        restored = loaded.sorted_tasks()[0]
+        assert restored.task_id == original.task_id
+        assert restored.task_type is original.task_type
+        assert restored.gpu_model is GPUModel.A100
+        assert np.allclose(loaded.org_history["org-A"], tiny_trace.org_history["org-A"])
+
+    def test_statistics_of_empty_trace(self):
+        stats = Trace().statistics()
+        assert stats.num_hp == 0
+        assert stats.num_spot == 0
+
+    def test_horizon_of_empty_trace_is_zero(self):
+        assert Trace().horizon == 0.0

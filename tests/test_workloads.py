@@ -1,0 +1,117 @@
+"""Tests for organization demand processes, fleets and workload scaling."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import GPUModel
+from repro.workloads import (
+    DEFAULT_HOLIDAYS,
+    OrganizationProfile,
+    PRODUCTION_FLEET,
+    SpotWorkloadLevel,
+    aggregate_demand,
+    all_levels,
+    build_production_cluster,
+    build_simulation_cluster,
+    default_organizations,
+    generate_org_demand_matrix,
+    production_gpu_counts,
+    scaled_fleet,
+    spot_scale,
+)
+
+
+class TestOrganizationProfiles:
+    def test_four_default_organizations(self):
+        orgs = default_organizations()
+        assert [o.name for o in orgs] == ["org-A", "org-B", "org-C", "org-D"]
+
+    def test_demand_is_nonnegative_and_near_base(self):
+        org = default_organizations()[0]
+        series = org.demand_series(7 * 24, np.random.default_rng(0))
+        assert np.all(series >= 0)
+        assert abs(series.mean() - org.base_demand) < 15
+
+    def test_diurnal_peak_hours_have_higher_demand(self):
+        org = OrganizationProfile(name="x", base_demand=100, diurnal_amplitude=20, noise_std=0.0,
+                                  burst_probability=0.0)
+        rng = np.random.default_rng(0)
+        peak = np.mean([org.demand_at(d * 24 + 17, rng) for d in range(5)])
+        trough = np.mean([org.demand_at(d * 24 + 4, rng) for d in range(5)])
+        assert peak > trough + 10
+
+    def test_weekend_drop_applies(self):
+        org = OrganizationProfile(name="x", base_demand=100, weekly_drop=0.4, noise_std=0.0,
+                                  burst_probability=0.0, diurnal_amplitude=0.0)
+        rng = np.random.default_rng(0)
+        weekday = org.demand_at(2 * 24 + 12, rng)   # Wednesday
+        weekend = org.demand_at(5 * 24 + 12, rng)   # Saturday
+        assert weekend == pytest.approx(weekday * 0.6, rel=0.01)
+
+    def test_holiday_drop_applies(self):
+        org = OrganizationProfile(name="x", base_demand=100, noise_std=0.0, burst_probability=0.0,
+                                  diurnal_amplitude=0.0, holidays=(1,), holiday_drop=0.5)
+        rng = np.random.default_rng(0)
+        normal = org.demand_at(0 * 24 + 12, rng)
+        holiday = org.demand_at(1 * 24 + 12, rng)
+        assert holiday == pytest.approx(normal * 0.5, rel=0.01)
+
+    def test_business_attributes_exposed(self):
+        attrs = default_organizations()[0].business_attributes()
+        assert set(attrs) == {"organization", "cluster", "gpu_model"}
+
+    def test_matrix_generation_deterministic_per_seed(self):
+        orgs = default_organizations()
+        a = generate_org_demand_matrix(orgs, 48, seed=3)
+        b = generate_org_demand_matrix(orgs, 48, seed=3)
+        c = generate_org_demand_matrix(orgs, 48, seed=4)
+        assert np.allclose(a["org-A"], b["org-A"])
+        assert not np.allclose(a["org-A"], c["org-A"])
+
+    def test_aggregate_demand_sums_orgs(self):
+        demand = {"a": np.array([1.0, 2.0]), "b": np.array([3.0, 4.0])}
+        assert np.allclose(aggregate_demand(demand), [4.0, 6.0])
+
+    def test_aggregate_demand_empty(self):
+        assert aggregate_demand({}).size == 0
+
+    def test_default_holidays_are_shared(self):
+        for org in default_organizations():
+            assert tuple(org.holidays) == DEFAULT_HOLIDAYS
+
+
+class TestFleet:
+    def test_production_fleet_matches_table1_models(self):
+        models = {e.model for e in PRODUCTION_FLEET}
+        assert models == {GPUModel.A10, GPUModel.A100, GPUModel.A800, GPUModel.H800}
+
+    def test_gpu_counts(self):
+        counts = production_gpu_counts()
+        assert counts[GPUModel.A10] == 2781
+        assert counts[GPUModel.A100] == 4160
+        # The whole fleet matches the paper's 10,365-GPU cluster.
+        assert sum(counts.values()) == 10_365
+
+    def test_scaled_fleet_keeps_at_least_one_node(self):
+        tiny = scaled_fleet(0.001)
+        assert all(e.node_count >= 1 for e in tiny)
+
+    def test_build_production_cluster_heterogeneous(self):
+        cluster = build_production_cluster(scale=0.01)
+        assert len(cluster.gpu_models) == 4
+
+    def test_build_simulation_cluster_size(self):
+        cluster = build_simulation_cluster(num_nodes=10)
+        assert cluster.total_gpus() == pytest.approx(80.0)
+
+
+class TestSpotScaling:
+    def test_levels_and_factors(self):
+        assert spot_scale(SpotWorkloadLevel.LOW) == 1.0
+        assert spot_scale("medium") == 2.0
+        assert spot_scale("HIGH") == 4.0
+        assert len(all_levels()) == 3
+
+    def test_unknown_level_raises(self):
+        with pytest.raises(ValueError):
+            spot_scale("extreme")
