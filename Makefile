@@ -1,0 +1,35 @@
+# Developer entry points. Everything runs from the repo root and uses
+# PYTHONPATH=src so no install step is required.
+
+PYTHON      ?= python
+PYTHONPATH  := src
+export PYTHONPATH
+
+.PHONY: test bench bench-scaling lint verify all
+
+## Tier-1 verify: the full unit suite + every benchmark at reduced scale.
+verify:
+	$(PYTHON) -m pytest -x -q
+
+## Unit/integration tests only (fast).
+test:
+	$(PYTHON) -m pytest tests -q
+
+## Paper-artifact benchmarks + the scheduling-core scaling benchmark.
+bench:
+	$(PYTHON) -m pytest benchmarks -q -s
+
+## Just the scaling benchmark (legacy-vs-optimized engine comparison).
+bench-scaling:
+	$(PYTHON) -m pytest benchmarks/test_bench_scaling.py -q -s
+
+## Lint: ruff when available, otherwise a byte-compile syntax sweep.
+lint:
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src tests benchmarks examples; \
+	else \
+		echo "ruff not installed; falling back to compileall"; \
+		$(PYTHON) -m compileall -q src tests benchmarks examples; \
+	fi
+
+all: lint test bench

@@ -3,7 +3,8 @@
 Every benchmark regenerates one of the paper's tables or figures at a
 reduced scale (so the whole harness runs in minutes on one machine) and
 prints the resulting rows, so the output can be compared side by side with
-the paper's numbers (see EXPERIMENTS.md).
+the paper's numbers (the README's "Paper tables and figures" section maps
+each artifact to its runner and benchmark file).
 """
 
 from __future__ import annotations
@@ -25,6 +26,16 @@ def bench_spot_scale() -> float:
     return 2.0
 
 
-def run_once(benchmark, func, *args, **kwargs):
-    """Run an experiment exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    Provided as a plain fixture (not a package-relative import) so the
+    benchmark suite collects without needing ``benchmarks`` to be an
+    importable package: ``run_once(func, *args, **kwargs)``.
+    """
+
+    def _run_once(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run_once

@@ -4,11 +4,9 @@ import math
 
 from repro.experiments import run_table10, run_table8, run_table9
 
-from .conftest import run_once
 
-
-def test_bench_table8_gde_ablation(benchmark, bench_scale, bench_spot_scale):
-    result = run_once(benchmark, run_table8, bench_scale, spot_scale=bench_spot_scale)
+def test_bench_table8_gde_ablation(run_once, bench_scale, bench_spot_scale):
+    result = run_once(run_table8, bench_scale, spot_scale=bench_spot_scale)
     print()
     print(result.report())
     rows = {name: r.as_row() for name, r in result.per_variant.items()}
@@ -22,8 +20,8 @@ def test_bench_table8_gde_ablation(benchmark, bench_scale, bench_spot_scale):
     assert math.isnan(gfse_jct) or rows["GFS"]["spot_jct"] <= gfse_jct * 1.05
 
 
-def test_bench_table9_sqa_ablation(benchmark, bench_scale, bench_spot_scale):
-    result = run_once(benchmark, run_table9, bench_scale, spot_scale=bench_spot_scale)
+def test_bench_table9_sqa_ablation(run_once, bench_scale, bench_spot_scale):
+    result = run_once(run_table9, bench_scale, spot_scale=bench_spot_scale)
     print()
     print(result.report())
     rows = {name: r.as_row() for name, r in result.per_variant.items()}
@@ -33,8 +31,8 @@ def test_bench_table9_sqa_ablation(benchmark, bench_scale, bench_spot_scale):
     assert rows["GFS"]["spot_jqt"] <= rows["GFS-D"]["spot_jqt"] * 1.25 + 60.0
 
 
-def test_bench_table10_pts_ablation(benchmark, bench_scale, bench_spot_scale):
-    result = run_once(benchmark, run_table10, bench_scale, spot_scale=bench_spot_scale)
+def test_bench_table10_pts_ablation(run_once, bench_scale, bench_spot_scale):
+    result = run_once(run_table10, bench_scale, spot_scale=bench_spot_scale)
     print()
     print(result.report())
     rows = {name: r.as_row() for name, r in result.per_variant.items()}

@@ -2,12 +2,10 @@
 
 from repro.experiments.forecasting import ForecastingExperimentConfig, run_forecasting_experiment
 
-from .conftest import run_once
 
-
-def test_bench_fig10_forecasting_accuracy(benchmark):
+def test_bench_fig10_forecasting_accuracy(run_once):
     config = ForecastingExperimentConfig(history_weeks=6, stride=8, orglinear_epochs=40)
-    result = run_once(benchmark, run_forecasting_experiment, config)
+    result = run_once(run_forecasting_experiment, config)
     print()
     print(result.report())
     evaluations = result.evaluations

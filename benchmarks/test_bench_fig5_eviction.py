@@ -3,12 +3,10 @@
 from repro.experiments import run_eviction_observation
 from repro.experiments.config import ExperimentScale
 
-from .conftest import run_once
 
-
-def test_bench_fig5_weekly_eviction_series(benchmark):
+def test_bench_fig5_weekly_eviction_series(run_once):
     scale = ExperimentScale(name="fig5", num_nodes=20, duration_hours=12.0, seed=29)
-    series = run_once(benchmark, run_eviction_observation, scale, weeks=2, spot_scale=3.0)
+    series = run_once(run_eviction_observation, scale, weeks=2, spot_scale=3.0)
     print()
     for week, s in series.items():
         print(

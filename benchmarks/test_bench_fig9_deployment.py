@@ -2,12 +2,9 @@
 
 from repro.experiments import paper_reference_benefit, run_deployment_experiment
 
-from .conftest import run_once
 
-
-def test_bench_fig9_deployment(benchmark):
+def test_bench_fig9_deployment(run_once):
     result = run_once(
-        benchmark,
         run_deployment_experiment,
         fleet_scale=0.006,
         duration_hours=8.0,
@@ -28,8 +25,8 @@ def test_bench_fig9_deployment(benchmark):
     assert result.benefit is not None
 
 
-def test_bench_fig9_paper_reference_benefit(benchmark):
-    benefit = run_once(benchmark, paper_reference_benefit)
+def test_bench_fig9_paper_reference_benefit(run_once):
+    benefit = run_once(paper_reference_benefit)
     print()
     print(
         f"Monthly benefit at the paper's reported operating points: "

@@ -1,6 +1,5 @@
 """Benchmarks E-T1 and E-F2/F3/F4/F8: the observation tables and figures."""
 
-import numpy as np
 
 from repro.analysis import demand_summary
 from repro.experiments import (
@@ -12,11 +11,9 @@ from repro.experiments import (
 from repro.experiments.config import ExperimentScale
 from repro.workloads import organizations
 
-from .conftest import run_once
 
-
-def test_bench_table1_fleet_allocation(benchmark):
-    rates = run_once(benchmark, run_fleet_observation, fleet_scale=0.008, duration_hours=8.0)
+def test_bench_table1_fleet_allocation(run_once):
+    rates = run_once(run_fleet_observation, fleet_scale=0.008, duration_hours=8.0)
     print()
     print("Table 1 (simulated pre-GFS allocation rate per GPU model)")
     for model, rate in rates.items():
@@ -28,8 +25,8 @@ def test_bench_table1_fleet_allocation(benchmark):
     assert max(rates.values()) > 0.3
 
 
-def test_bench_fig2_request_cdfs(benchmark):
-    cmp = run_once(benchmark, run_request_cdf_observation, samples=20_000)
+def test_bench_fig2_request_cdfs(run_once):
+    cmp = run_once(run_request_cdf_observation, samples=20_000)
     print()
     print(
         "Figure 2: 2020 partial-card share "
@@ -44,9 +41,9 @@ def test_bench_fig2_request_cdfs(benchmark):
     assert abs(cmp.modern_full_node_fraction - 0.70) < 0.05
 
 
-def test_bench_fig3_runtime_distribution(benchmark):
+def test_bench_fig3_runtime_distribution(run_once):
     scale = ExperimentScale(name="fig3", num_nodes=24, duration_hours=12.0, seed=23)
-    dist = run_once(benchmark, run_runtime_observation, scale)
+    dist = run_once(run_runtime_observation, scale)
     print()
     print(
         "Figure 3: runtime p50/p90/p99 = "
@@ -59,12 +56,12 @@ def test_bench_fig3_runtime_distribution(benchmark):
     assert dist.queue_ratio() >= 1.0 or dist.queue_p50_by_gpus.get(1, 0.0) == 0.0
 
 
-def test_bench_fig4_org_demand(benchmark):
+def test_bench_fig4_org_demand(run_once):
     def build():
         orgs = organizations.default_organizations()
         return organizations.generate_org_demand_matrix(orgs, 168, seed=0)
 
-    demand = run_once(benchmark, build)
+    demand = run_once(build)
     summary = demand_summary(demand)
     print()
     print("Figure 4 (weekly per-organization GPU demand):")
@@ -78,8 +75,8 @@ def test_bench_fig4_org_demand(benchmark):
     assert 50 <= summary["org-A"]["mean"] <= 110
 
 
-def test_bench_fig8_heatmap(benchmark):
-    rates = run_once(benchmark, run_heatmap_observation, hours=168)
+def test_bench_fig8_heatmap(run_once):
+    rates = run_once(run_heatmap_observation, hours=168)
     print()
     print("Figure 8 (average allocation rate per A100 cluster):")
     for cluster, rate in rates.items():

@@ -3,12 +3,10 @@
 from repro.experiments import run_table5
 from repro.workloads import SpotWorkloadLevel
 
-from .conftest import run_once
 
-
-def test_bench_table5_low_workload(benchmark, bench_scale):
+def test_bench_table5_low_workload(run_once, bench_scale):
     result = run_once(
-        benchmark, run_table5, bench_scale, levels=[SpotWorkloadLevel.LOW]
+        run_table5, bench_scale, levels=[SpotWorkloadLevel.LOW]
     )
     print()
     print(result.report())
@@ -18,9 +16,9 @@ def test_bench_table5_low_workload(benchmark, bench_scale):
     assert all(r["hp_jct"] > 0 for r in rows.values())
 
 
-def test_bench_table5_medium_workload(benchmark, bench_scale):
+def test_bench_table5_medium_workload(run_once, bench_scale):
     result = run_once(
-        benchmark, run_table5, bench_scale, levels=[SpotWorkloadLevel.MEDIUM]
+        run_table5, bench_scale, levels=[SpotWorkloadLevel.MEDIUM]
     )
     print()
     print(result.report())
@@ -33,9 +31,9 @@ def test_bench_table5_medium_workload(benchmark, bench_scale):
     assert rows["GFS"]["spot_eviction"] <= rows["FGD"]["spot_eviction"] + 0.05
 
 
-def test_bench_table5_high_workload(benchmark, bench_scale):
+def test_bench_table5_high_workload(run_once, bench_scale):
     result = run_once(
-        benchmark, run_table5, bench_scale, levels=[SpotWorkloadLevel.HIGH]
+        run_table5, bench_scale, levels=[SpotWorkloadLevel.HIGH]
     )
     print()
     print(result.report())

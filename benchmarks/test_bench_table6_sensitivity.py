@@ -2,12 +2,9 @@
 
 from repro.experiments import run_table6
 
-from .conftest import run_once
 
-
-def test_bench_table6_guarantee_hours(benchmark, bench_scale, bench_spot_scale):
+def test_bench_table6_guarantee_hours(run_once, bench_scale, bench_spot_scale):
     result = run_once(
-        benchmark,
         run_table6,
         bench_scale,
         guarantee_hours=(1.0, 2.0, 4.0),

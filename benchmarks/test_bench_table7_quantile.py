@@ -2,14 +2,12 @@
 
 from repro.experiments.forecasting import ForecastingExperimentConfig, run_forecasting_experiment
 
-from .conftest import run_once
 
-
-def test_bench_table7_quantile_accuracy(benchmark):
+def test_bench_table7_quantile_accuracy(run_once):
     config = ForecastingExperimentConfig(
         history_weeks=6, stride=8, orglinear_epochs=40, baselines=["DeepAR"]
     )
-    result = run_once(benchmark, run_forecasting_experiment, config)
+    result = run_once(run_forecasting_experiment, config)
     print()
     print(result.report())
     org = result.evaluations["OrgLinear"]

@@ -8,7 +8,6 @@ a spot GPU quota with a guaranteed duration.
 Run with:  python examples/demand_forecasting.py
 """
 
-import numpy as np
 
 from repro.core.gde import (
     DLinearModel,

@@ -6,7 +6,7 @@ task model with checkpoints and run logs, the event loop, metric
 collection and a simple pricing model.
 """
 
-from .cluster import Cluster, ClusterStats
+from .cluster import AggregateConsistencyError, Cluster, ClusterStats
 from .events import Event, EventKind, SchedulingDecision
 from .gpu import GPUDevice, GPUModel, HOURLY_PRICE_USD
 from .metrics import (
@@ -18,6 +18,7 @@ from .metrics import (
     percentile,
 )
 from .node import Node, make_nodes
+from .pending import PendingQueue
 from .pricing import FleetPricing, monthly_allocation_revenue, monthly_benefit
 from .simulator import ClusterSimulator, SimulationError, SimulatorConfig, run_simulation
 from .task import (
@@ -33,6 +34,7 @@ from .task import (
 )
 
 __all__ = [
+    "AggregateConsistencyError",
     "Cluster",
     "ClusterStats",
     "ClusterSimulator",
@@ -43,6 +45,7 @@ __all__ = [
     "GPUModel",
     "HOURLY_PRICE_USD",
     "Node",
+    "PendingQueue",
     "PodPlacement",
     "RunLog",
     "SchedulingDecision",

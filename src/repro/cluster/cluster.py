@@ -3,16 +3,40 @@
 The cluster exposes the queries schedulers need (idle GPUs, spot usage,
 per-model views) and the mutation primitives the simulator uses to place,
 finish and evict tasks.
+
+Aggregate queries are O(1)
+--------------------------
+``total_gpus``/``idle_gpus``/``allocated_gpus``/``spot_gpus``/``hp_gpus``
+/``allocation_rate``/``stats`` answer from **incrementally maintained
+per-GPU-model aggregates** instead of re-scanning every node.  The
+aggregates are kept consistent by a capacity listener each node invokes
+after every ``allocate_pod``/``release_task`` mutation — including
+mutations performed directly on a node object, bypassing
+:meth:`Cluster.place_task`.
+
+Invariants (checked in debug mode, see ``validate_aggregates``):
+
+* ``_agg[m].free  == sum(n.free_capacity for n in nodes of model m)``
+* ``_agg[m].hp    == sum(n.hp_gpus for n in nodes of model m)``
+* ``_agg[m].spot  == sum(n.spot_gpus for n in nodes of model m)``
+* ``_running_spot`` holds exactly the spot tasks in ``running_tasks``,
+  in the same insertion order.
+
+Set the environment variable ``REPRO_VALIDATE_AGGREGATES=1`` (or pass
+``validate_aggregates=True``) to re-verify the cached aggregates against
+a full scan on every query — slow, but invaluable when writing a new
+scheduler or mutation path.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .gpu import GPUModel
 from .node import Node
-from .task import PodPlacement, Task, TaskState, TaskType
+from .task import PodPlacement, Task, TaskType
 
 
 @dataclass
@@ -35,10 +59,49 @@ class ClusterStats:
         return (self.total_gpus - self.idle_gpus) / self.total_gpus
 
 
-class Cluster:
-    """A set of nodes, optionally spanning several GPU models."""
+@dataclass
+class _ModelAggregate:
+    """Incrementally maintained capacity figures for one GPU model."""
 
-    def __init__(self, nodes: Iterable[Node]):
+    total: float = 0.0
+    free: float = 0.0
+    hp: float = 0.0
+    spot: float = 0.0
+
+    @property
+    def allocated(self) -> float:
+        return self.total - self.free
+
+
+class AggregateConsistencyError(RuntimeError):
+    """Raised in debug mode when cached aggregates drift from a full scan."""
+
+
+class Cluster:
+    """A set of nodes, optionally spanning several GPU models.
+
+    Exposes the aggregate queries schedulers rely on (``idle_gpus``,
+    ``allocation_rate``, ``stats``, ``spot_gpus_with_guarantee``, …) as
+    O(1) lookups against incrementally maintained per-model caches, plus
+    the mutation primitives the simulator drives (``place_task``,
+    ``remove_task``).  A node belongs to at most one cluster:
+    construction registers a capacity listener on every node so the
+    aggregates stay consistent with per-node allocations, even ones made
+    directly on a :class:`~repro.cluster.node.Node`.
+
+    Example
+    -------
+    >>> from repro import Cluster, GPUModel
+    >>> cluster = Cluster.homogeneous(num_nodes=32, gpus_per_node=8,
+    ...                               gpu_model=GPUModel.A100)
+    >>> cluster.total_gpus(), cluster.idle_gpus()
+    (256.0, 256.0)
+    """
+
+    #: absolute tolerance used by the debug consistency check
+    _VALIDATE_ATOL = 1e-6
+
+    def __init__(self, nodes: Iterable[Node], validate_aggregates: Optional[bool] = None):
         self.nodes: List[Node] = list(nodes)
         if not self.nodes:
             raise ValueError("a cluster needs at least one node")
@@ -47,11 +110,103 @@ class Cluster:
             raise ValueError("duplicate node ids in cluster")
         #: running task id -> Task
         self.running_tasks: Dict[str, Task] = {}
+        #: running *spot* task id -> Task (same insertion order as above)
+        self._running_spot: Dict[str, Task] = {}
+        #: number of running tasks per (task.gpu_model, task type); the
+        #: model key may be None for model-agnostic tasks
+        self._running_counts: Dict[Tuple[Optional[GPUModel], TaskType], int] = {}
         #: historical counters for the preemption-cost denominator (Eq. 18/19)
         self.successful_spot_runs: int = 0
         self.evicted_spot_runs: int = 0
         #: cumulative GPU-seconds of execution, per node, for the usage term
         self.node_gpu_seconds: Dict[str, float] = {n.node_id: 0.0 for n in self.nodes}
+
+        if validate_aggregates is None:
+            validate_aggregates = os.environ.get(
+                "REPRO_VALIDATE_AGGREGATES", ""
+            ).strip().lower() not in ("", "0", "false", "no", "off")
+        self._validate = bool(validate_aggregates)
+
+        # Static per-model node lists plus incrementally updated aggregates.
+        self._nodes_by_model: Dict[GPUModel, List[Node]] = {}
+        self._agg: Dict[GPUModel, _ModelAggregate] = {}
+        registered: List[Node] = []
+        try:
+            for node in self.nodes:
+                node.register_capacity_listener(self._on_node_capacity_change)
+                registered.append(node)
+                self._nodes_by_model.setdefault(node.gpu_model, []).append(node)
+                agg = self._agg.setdefault(node.gpu_model, _ModelAggregate())
+                agg.total += node.total_gpus
+                agg.free += node.free_capacity
+                agg.hp += node.hp_gpus
+                agg.spot += node.spot_gpus
+        except Exception:
+            # Unwind so a failed construction (e.g. one node already owned
+            # by another cluster) does not leave nodes claimed by this
+            # half-built, unreachable cluster.
+            for node in registered:
+                node.register_capacity_listener(None)
+            raise
+
+    # ------------------------------------------------------------------
+    # Aggregate maintenance
+    # ------------------------------------------------------------------
+    def _on_node_capacity_change(
+        self, node: Node, free_delta: float, hp_delta: float, spot_delta: float
+    ) -> None:
+        """Fold a node mutation into the per-model aggregates (O(1))."""
+        agg = self._agg[node.gpu_model]
+        agg.free += free_delta
+        agg.hp += hp_delta
+        agg.spot += spot_delta
+
+    def validate_aggregates(self) -> None:
+        """Verify every cached aggregate against a full node/task scan.
+
+        Raises :class:`AggregateConsistencyError` on any drift beyond
+        ``1e-6``.  Called automatically on every query when the cluster
+        was built with ``validate_aggregates=True`` (or the
+        ``REPRO_VALIDATE_AGGREGATES`` environment variable is set).
+        """
+        for model, agg in self._agg.items():
+            nodes = self._nodes_by_model[model]
+            expected = {
+                "total": float(sum(n.total_gpus for n in nodes)),
+                "free": float(sum(n.free_capacity for n in nodes)),
+                "hp": float(sum(n.hp_gpus for n in nodes)),
+                "spot": float(sum(n.spot_gpus for n in nodes)),
+            }
+            cached = {"total": agg.total, "free": agg.free, "hp": agg.hp, "spot": agg.spot}
+            for key, want in expected.items():
+                if abs(cached[key] - want) > self._VALIDATE_ATOL:
+                    raise AggregateConsistencyError(
+                        f"cached {key} aggregate for {model.value} is {cached[key]!r}, "
+                        f"full scan says {want!r}"
+                    )
+        spot_ids = [tid for tid, t in self.running_tasks.items() if t.is_spot]
+        if spot_ids != list(self._running_spot):
+            raise AggregateConsistencyError(
+                "running-spot index diverged from running_tasks: "
+                f"{spot_ids} != {list(self._running_spot)}"
+            )
+        counts: Dict[Tuple[Optional[GPUModel], TaskType], int] = {}
+        for task in self.running_tasks.values():
+            key = (task.gpu_model, task.task_type)
+            counts[key] = counts.get(key, 0) + 1
+        if counts != {k: v for k, v in self._running_counts.items() if v}:
+            raise AggregateConsistencyError(
+                f"running-task counters diverged: {self._running_counts} != {counts}"
+            )
+
+    def _check(self) -> None:
+        if self._validate:
+            self.validate_aggregates()
+
+    def _models_for(self, model: Optional[GPUModel]) -> List[GPUModel]:
+        if model is None:
+            return list(self._agg)
+        return [model] if model in self._agg else []
 
     # ------------------------------------------------------------------
     # Lookup helpers
@@ -63,63 +218,90 @@ class Cluster:
         """Nodes compatible with ``model`` (all nodes when model is None)."""
         if model is None:
             return list(self.nodes)
-        return [n for n in self.nodes if n.gpu_model is model]
+        return list(self._nodes_by_model.get(model, ()))
 
     @property
     def gpu_models(self) -> List[GPUModel]:
-        seen: List[GPUModel] = []
-        for node in self.nodes:
-            if node.gpu_model not in seen:
-                seen.append(node.gpu_model)
-        return seen
+        return list(self._nodes_by_model)
 
     # ------------------------------------------------------------------
-    # Capacity accounting
+    # Capacity accounting (O(1) from cached aggregates)
     # ------------------------------------------------------------------
+    # Unchecked internals so compound queries (stats, allocation_rate)
+    # validate once per public call, not once per sub-query.
+    def _total(self, model: Optional[GPUModel]) -> float:
+        return float(sum(self._agg[m].total for m in self._models_for(model)))
+
+    def _idle(self, model: Optional[GPUModel]) -> float:
+        return float(sum(self._agg[m].free for m in self._models_for(model)))
+
+    def _allocated(self, model: Optional[GPUModel]) -> float:
+        return float(sum(self._agg[m].allocated for m in self._models_for(model)))
+
+    def _spot(self, model: Optional[GPUModel]) -> float:
+        return float(sum(self._agg[m].spot for m in self._models_for(model)))
+
+    def _hp(self, model: Optional[GPUModel]) -> float:
+        return float(sum(self._agg[m].hp for m in self._models_for(model)))
+
     def total_gpus(self, model: Optional[GPUModel] = None) -> float:
-        return float(sum(n.total_gpus for n in self.nodes_for_model(model)))
+        self._check()
+        return self._total(model)
 
     def idle_gpus(self, model: Optional[GPUModel] = None) -> float:
-        return float(sum(n.free_capacity for n in self.nodes_for_model(model)))
+        self._check()
+        return self._idle(model)
 
     def allocated_gpus(self, model: Optional[GPUModel] = None) -> float:
-        return float(sum(n.allocated_gpus for n in self.nodes_for_model(model)))
+        self._check()
+        return self._allocated(model)
 
     def spot_gpus(self, model: Optional[GPUModel] = None) -> float:
-        return float(sum(n.spot_gpus for n in self.nodes_for_model(model)))
+        self._check()
+        return self._spot(model)
 
     def hp_gpus(self, model: Optional[GPUModel] = None) -> float:
-        return float(sum(n.hp_gpus for n in self.nodes_for_model(model)))
+        self._check()
+        return self._hp(model)
 
     def allocation_rate(self, model: Optional[GPUModel] = None) -> float:
-        total = self.total_gpus(model)
+        self._check()
+        total = self._total(model)
         if total <= 0:
             return 0.0
-        return self.allocated_gpus(model) / total
+        return self._allocated(model) / total
+
+    def _running_count(self, model: Optional[GPUModel], task_type: TaskType) -> int:
+        if model is None:
+            return sum(
+                count for (m, t), count in self._running_counts.items() if t is task_type
+            )
+        # Tasks with no model constraint count toward every model's view.
+        return self._running_counts.get((model, task_type), 0) + self._running_counts.get(
+            (None, task_type), 0
+        )
 
     def stats(self, model: Optional[GPUModel] = None) -> ClusterStats:
-        """A snapshot of aggregate cluster statistics."""
-        running = [
-            t
-            for t in self.running_tasks.values()
-            if model is None or t.gpu_model is None or t.gpu_model is model
-        ]
+        """A snapshot of aggregate cluster statistics (O(1))."""
+        self._check()
         return ClusterStats(
-            total_gpus=self.total_gpus(model),
-            idle_gpus=self.idle_gpus(model),
-            hp_gpus=self.hp_gpus(model),
-            spot_gpus=self.spot_gpus(model),
-            running_hp_tasks=sum(1 for t in running if t.is_hp),
-            running_spot_tasks=sum(1 for t in running if t.is_spot),
+            total_gpus=self._total(model),
+            idle_gpus=self._idle(model),
+            hp_gpus=self._hp(model),
+            spot_gpus=self._spot(model),
+            running_hp_tasks=self._running_count(model, TaskType.HP),
+            running_spot_tasks=self._running_count(model, TaskType.SPOT),
             successful_spot_runs=self.successful_spot_runs,
             evicted_spot_runs=self.evicted_spot_runs,
         )
 
     def running_spot_tasks(self, model: Optional[GPUModel] = None) -> List[Task]:
+        """Running spot tasks, in placement order (O(#running spot tasks))."""
+        self._check()
         return [
             t
-            for t in self.running_tasks.values()
-            if t.is_spot and (model is None or t.gpu_model is None or t.gpu_model is model)
+            for t in self._running_spot.values()
+            if model is None or t.gpu_model is None or t.gpu_model is model
         ]
 
     def spot_gpus_with_guarantee(self, hours: float, now: float) -> float:
@@ -128,9 +310,11 @@ class Cluster:
         This is ``S_a`` in Eq. (10): spot capacity already committed at the
         requested guarantee level.  Together with the idle capacity ``S_0``
         it bounds the quota by what is physically available right now.
+        Only the running *spot* index is scanned, never HP tasks or nodes.
         """
+        self._check()
         total = 0.0
-        for task in self.running_spot_tasks():
+        for task in self._running_spot.values():
             if task.guaranteed_hours + 1e-9 >= hours:
                 total += task.total_gpus
         return total
@@ -149,20 +333,33 @@ class Cluster:
                 node.allocate_pod(task)
                 applied.append(pod.node_id)
         except Exception:
-            # Roll back partial placement so the cluster stays consistent.
+            # Roll back partial placement so the cluster stays consistent
+            # (release_task notifies the aggregate listener too).
             for node_id in applied:
                 self.node(node_id).release_task(task.task_id)
             raise
         task.placements = list(placements)
         self.running_tasks[task.task_id] = task
+        if task.is_spot:
+            self._running_spot[task.task_id] = task
+        key = (task.gpu_model, task.task_type)
+        self._running_counts[key] = self._running_counts.get(key, 0) + 1
+        self._check()
 
     def remove_task(self, task: Task) -> None:
         """Release every GPU the task holds (used on finish and eviction)."""
         for pod in task.placements:
             self.node(pod.node_id).release_task(task.task_id)
         # A task may have pods on the same node; release_task is idempotent.
-        self.running_tasks.pop(task.task_id, None)
+        removed = self.running_tasks.pop(task.task_id, None)
+        if removed is not None:
+            self._running_spot.pop(task.task_id, None)
+            # place_task always set this key; a KeyError here means the
+            # bookkeeping drifted and should surface, not be masked.
+            key = (removed.gpu_model, removed.task_type)
+            self._running_counts[key] -= 1
         task.placements = []
+        self._check()
 
     def record_execution(self, task: Task, runtime: float) -> None:
         """Accumulate GPU-seconds of execution on the nodes the task used."""

@@ -16,7 +16,19 @@ EPSILON = 1e-9
 
 
 class GPUModel(str, Enum):
-    """GPU models present in the production cluster of Table 1."""
+    """GPU models present in the production cluster of Table 1.
+
+    Members (``A10``, ``A100``, ``A800``, ``H800``) compare as strings,
+    so they serialise cleanly into reports and can key per-model fleet
+    partitions.
+
+    Example
+    -------
+    >>> GPUModel.A100.value
+    'A100'
+    >>> GPUModel("H800") is GPUModel.H800
+    True
+    """
 
     A10 = "A10"
     A100 = "A100"

@@ -64,7 +64,20 @@ class TaskClassMetrics:
 
 @dataclass
 class SimulationMetrics:
-    """Full result bundle returned by a simulation run."""
+    """Full result bundle returned by a simulation run.
+
+    Carries per-class JCT/JQT statistics for HP and spot tasks
+    (:class:`TaskClassMetrics`), the sampled allocation-rate series with
+    its timestamps, the trace makespan and the number of tasks still
+    unfinished when the run stopped (non-zero only with ``max_time``).
+
+    Example
+    -------
+    >>> metrics = run_simulation(cluster, scheduler, tasks)
+    >>> metrics.spot.eviction_rate <= 1.0
+    True
+    >>> print(metrics.summary())          # human-readable report
+    """
 
     hp: TaskClassMetrics = field(default_factory=TaskClassMetrics)
     spot: TaskClassMetrics = field(default_factory=TaskClassMetrics)

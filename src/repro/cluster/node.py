@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from .gpu import EPSILON, GPUDevice, GPUModel
 from .task import Task, TaskType
@@ -36,6 +36,13 @@ class Node:
     #: cached capacity figures, refreshed after every allocate/release
     _idle_cache: int = 0
     _free_cache: float = 0.0
+    #: owning cluster's aggregate-maintenance hook; called with
+    #: ``(node, free_delta, hp_delta, spot_delta)`` after every mutation so
+    #: cluster-level caches stay consistent even when a node is mutated
+    #: directly (tests and placement helpers do this)
+    _capacity_listener: Optional[Callable[["Node", float, float, float], None]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.num_gpus < 1:
@@ -49,6 +56,44 @@ class Node:
         """Recompute cached idle/free figures (called after every mutation)."""
         self._idle_cache = sum(1 for g in self.gpus if g.is_idle)
         self._free_cache = sum(g.free_fraction for g in self.gpus)
+
+    def register_capacity_listener(
+        self, listener: Optional[Callable[["Node", float, float, float], None]]
+    ) -> None:
+        """Install the owning cluster's aggregate-maintenance callback.
+
+        A node belongs to at most one cluster: silently replacing the
+        listener would freeze the first cluster's cached aggregates, so
+        claiming an already-owned node raises.  Pass ``None`` to detach
+        the node from its cluster first.
+
+        Raises
+        ------
+        ValueError
+            If a different listener is already registered.
+        """
+        # Equality (not identity) so re-registering the same cluster's bound
+        # method is idempotent — each attribute access creates a fresh bound
+        # method object, but equal ones share __self__ and __func__.
+        if (
+            listener is not None
+            and self._capacity_listener is not None
+            and self._capacity_listener != listener
+        ):
+            raise ValueError(
+                f"node {self.node_id} already belongs to a cluster; detach it "
+                "(register_capacity_listener(None)) before adding it to another"
+            )
+        self._capacity_listener = listener
+
+    def _notify(self, free_before: float, hp_before: float, spot_before: float) -> None:
+        if self._capacity_listener is not None:
+            self._capacity_listener(
+                self,
+                self._free_cache - free_before,
+                self.hp_gpus - hp_before,
+                self.spot_gpus - spot_before,
+            )
 
     # ------------------------------------------------------------------
     # Capacity queries
@@ -120,6 +165,7 @@ class Node:
             If the pod does not fit.
         """
         g = task.gpus_per_pod if gpus_per_pod is None else gpus_per_pod
+        free_before, hp_before, spot_before = self._free_cache, self.hp_gpus, self.spot_gpus
         if g < 1.0 - EPSILON:
             # Fractional request: pick the busiest card that still fits
             # (best-fit within the node limits fragmentation).
@@ -148,10 +194,12 @@ class Node:
             fraction for _, fraction in used
         )
         self._refresh_capacity()
+        self._notify(free_before, hp_before, spot_before)
         return tuple(index for index, _ in used)
 
     def release_task(self, task_id: str) -> float:
         """Release every GPU share held by ``task_id`` on this node."""
+        free_before, hp_before, spot_before = self._free_cache, self.hp_gpus, self.spot_gpus
         freed = 0.0
         for device in self.gpus:
             freed += device.release(task_id)
@@ -160,6 +208,7 @@ class Node:
         if task_type is not None:
             self._type_gpus[task_type] = max(0.0, self._type_gpus.get(task_type, 0.0) - freed)
         self._refresh_capacity()
+        self._notify(free_before, hp_before, spot_before)
         return freed
 
     # ------------------------------------------------------------------

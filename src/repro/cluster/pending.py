@@ -1,0 +1,116 @@
+"""Indexed pending queue used by the simulator's scheduling hot path.
+
+The simulator historically kept waiting tasks in a plain ``list``, which
+made the inner scheduling loop quadratic: every ``task in pending`` check
+and every ``pending.remove(task)`` scanned the whole queue.  At fleet
+scale (tens of thousands of queued tasks) those scans dominated the run
+time of every experiment.
+
+:class:`PendingQueue` is a dict-backed ordered set keyed by ``task_id``:
+
+* **O(1)** membership tests, additions and removals;
+* **insertion order is preserved** (CPython dicts iterate in insertion
+  order), so scheduler-defined queue semantics — FCFS tie-breaking,
+  "evicted tasks re-enter at the tail" — are identical to the old list;
+* re-adding a task after removal places it at the tail, exactly like
+  ``list.append`` after ``list.remove``.
+
+The queue intentionally mirrors the small slice of the ``list`` API the
+simulator used (``append``, ``remove``, ``in``, ``len``, iteration), so
+schedulers that receive ``list(pending)`` snapshots are unaffected.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+from .task import Task
+
+
+class PendingQueue:
+    """An insertion-ordered set of :class:`Task` with O(1) membership.
+
+    Tasks are keyed by their unique ``task_id`` and each appears at most
+    once.  Appending a task that is already queued moves it to the tail
+    (the simulator relies on this when a task is scheduled and evicted
+    again within one scheduling pass, before the pass-end dequeue).
+
+    Example
+    -------
+    Given two :class:`Task` objects ``a`` and ``b``::
+
+        q = PendingQueue()
+        q.append(a); q.append(b)
+        a in q                                # True, O(1)
+        q.discard(a)                          # True, O(1)
+        [t.task_id for t in q] == [b.task_id] # insertion order preserved
+    """
+
+    __slots__ = ("_tasks",)
+
+    def __init__(self) -> None:
+        self._tasks: Dict[str, Task] = {}
+
+    # ------------------------------------------------------------------
+    # list-compatible surface used by the simulator
+    # ------------------------------------------------------------------
+    def append(self, task: Task) -> None:
+        """Add ``task`` at the tail of the queue.
+
+        If the task is already queued it is **moved to the tail**, exactly
+        like ``list.append`` followed by removing the earlier occurrence —
+        this matters when a task is scheduled and evicted again within one
+        scheduling pass, where it is still queued when it is re-appended.
+
+        Raises
+        ------
+        ValueError
+            If a different task object with the same id is already queued
+            (a sign of task-id collisions in the trace).
+        """
+        existing = self._tasks.get(task.task_id)
+        if existing is not None:
+            if existing is not task:
+                raise ValueError(
+                    f"pending queue already holds a task with id {task.task_id!r}"
+                )
+            del self._tasks[task.task_id]
+        self._tasks[task.task_id] = task
+
+    def remove(self, task: Task) -> None:
+        """Remove ``task``; raises ``KeyError`` if it is not queued."""
+        del self._tasks[task.task_id]
+
+    def discard(self, task: Task) -> bool:
+        """Remove ``task`` if present; return whether it was queued."""
+        return self._tasks.pop(task.task_id, None) is not None
+
+    def __contains__(self, task: Task) -> bool:
+        return getattr(task, "task_id", None) in self._tasks
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __bool__(self) -> bool:
+        return bool(self._tasks)
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self._tasks.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<PendingQueue n={len(self._tasks)}>"
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self) -> List[Task]:
+        """The queued tasks in insertion order, as a new list.
+
+        This is what ``sort_queue`` and the ``on_tick`` hook receive; the
+        returned list is decoupled from the queue so schedulers may sort
+        or mutate it freely.
+        """
+        return list(self._tasks.values())
+
+    def clear(self) -> None:
+        self._tasks.clear()

@@ -9,27 +9,51 @@ Scheduler interface (duck-typed, see :class:`repro.schedulers.base.Scheduler`):
 * ``sort_queue(pending, now)`` — ordering of the waiting queue.
 * ``try_schedule(task, cluster, now)`` — returns a
   :class:`~repro.cluster.events.SchedulingDecision` or ``None``.
+* ``blocks_on_failure(task)`` — optional FCFS semantics: a failed head
+  blocks the rest of its class for this pass.
 * ``on_task_submit / on_task_start / on_task_finish / on_task_evicted`` —
   optional notification hooks.
 * ``on_tick(cluster, now, pending)`` — periodic hook (spot-quota updates).
+* ``on_simulation_start(cluster, now)`` — optional setup hook.
+
+Hot-path design
+---------------
+The waiting queue is a :class:`~repro.cluster.pending.PendingQueue` — a
+dict-backed ordered set with O(1) membership and removal — so one pass of
+``_schedule_pending`` over ``P`` waiting tasks costs ``O(P log P)`` for
+the scheduler's sort instead of the ``O(P^2)`` list scans the naive
+implementation paid.  The event loop additionally maintains a counter of
+non-tick events so the tick handler's liveness check is O(1) instead of
+scanning the whole event heap every tick.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from .cluster import Cluster
 from .events import Event, EventKind, SchedulingDecision
 from .metrics import SimulationMetrics, compute_metrics
+from .pending import PendingQueue
 from .task import RunLog, Task, TaskState
 
 
 @dataclass
 class SimulatorConfig:
-    """Tunable knobs of the simulation engine."""
+    """Tunable knobs of the simulation engine.
+
+    Controls preemption mechanics (grace period, restart overhead), the
+    periodic quota/sampling tick and the optional hard time cap.  The
+    defaults mirror the paper's deployment parameters (Table 4).
+
+    Example
+    -------
+    >>> config = SimulatorConfig(tick_interval=300.0, max_time=86_400.0)
+    >>> metrics = run_simulation(cluster, scheduler, tasks, config)
+    """
 
     #: grace period granted to evicted spot tasks before the preemptor starts
     preemption_grace_period: float = 30.0
@@ -49,7 +73,24 @@ class SimulationError(RuntimeError):
 
 
 class ClusterSimulator:
-    """Event-driven simulator binding a scheduler to a cluster and a trace."""
+    """Event-driven simulator binding a scheduler to a cluster and a trace.
+
+    Tasks are registered with :meth:`submit` / :meth:`submit_all` and the
+    whole trace is replayed by :meth:`run`, which returns a
+    :class:`~repro.cluster.metrics.SimulationMetrics`.  The simulator owns
+    the event heap, the indexed pending queue, preemption/restart
+    mechanics and allocation-rate sampling; the scheduler only decides
+    placements.  Use :func:`run_simulation` unless you need to inspect
+    simulator state mid-run.
+
+    Example
+    -------
+    >>> sim = ClusterSimulator(cluster, scheduler, SimulatorConfig())
+    >>> sim.submit_all(trace.sorted_tasks())
+    >>> metrics = sim.run()
+    >>> metrics.unfinished_tasks
+    0
+    """
 
     def __init__(
         self,
@@ -63,10 +104,14 @@ class ClusterSimulator:
         self.now: float = 0.0
         self._events: List[Event] = []
         self._seq = itertools.count()
-        self.pending: List[Task] = []
+        #: indexed waiting queue (insertion-ordered, O(1) membership/removal)
+        self.pending: PendingQueue = PendingQueue()
         self.all_tasks: List[Task] = []
         #: run epoch per task; finish events from stale epochs are ignored
         self._epochs: Dict[str, int] = {}
+        #: events in the heap that are not QUOTA_TICKs; lets the tick
+        #: handler decide liveness without scanning the heap
+        self._non_tick_events: int = 0
         self.allocation_samples: List[float] = []
         self.allocation_sample_times: List[float] = []
         self._finished_count = 0
@@ -75,7 +120,15 @@ class ClusterSimulator:
     # Event plumbing
     # ------------------------------------------------------------------
     def _push(self, time: float, kind: EventKind, task: Optional[Task] = None, epoch: int = 0) -> None:
+        if kind is not EventKind.QUOTA_TICK:
+            self._non_tick_events += 1
         heapq.heappush(self._events, Event(time=time, kind=kind, seq=next(self._seq), task=task, epoch=epoch))
+
+    def _pop(self) -> Event:
+        event = heapq.heappop(self._events)
+        if event.kind is not EventKind.QUOTA_TICK:
+            self._non_tick_events -= 1
+        return event
 
     def submit(self, task: Task) -> None:
         """Register a task arrival event at its submission time."""
@@ -102,7 +155,7 @@ class ClusterSimulator:
             self._push(first_time + self.config.tick_interval, EventKind.QUOTA_TICK)
 
         while self._events:
-            event = heapq.heappop(self._events)
+            event = self._pop()
             if self.config.max_time is not None and event.time > self.config.max_time:
                 break
             self.now = event.time
@@ -155,14 +208,14 @@ class ClusterSimulator:
             self.allocation_samples.append(self.cluster.allocation_rate())
             self.allocation_sample_times.append(self.now)
         if hasattr(self.scheduler, "on_tick"):
-            self.scheduler.on_tick(self.cluster, self.now, list(self.pending))
+            self.scheduler.on_tick(self.cluster, self.now, self.pending.snapshot())
         pending_before = len(self.pending)
         self._schedule_pending()
         # Keep ticking while there is still work anywhere in the system, but
         # stop once the only remaining work is pending tasks that can never
         # be scheduled (nothing running, no future arrivals/finishes, and the
         # tick made no progress) — otherwise the loop would tick forever.
-        has_other_events = any(e.kind is not EventKind.QUOTA_TICK for e in self._events)
+        has_other_events = self._non_tick_events > 0
         stuck = (
             bool(self.pending)
             and not self.cluster.running_tasks
@@ -179,13 +232,15 @@ class ClusterSimulator:
         """Offer pending tasks to the scheduler in its preferred order.
 
         When ``only`` is given, just that task is offered (used on arrivals).
+        All queue membership checks and removals are O(1) against the
+        indexed :class:`~repro.cluster.pending.PendingQueue`.
         """
         if not self.pending:
             return
         if only is not None:
             ordered = [only] if only in self.pending else []
         else:
-            ordered = self.scheduler.sort_queue(list(self.pending), self.now)
+            ordered = self.scheduler.sort_queue(self.pending.snapshot(), self.now)
         scheduled: List[Task] = []
         blocked_spot = False
         blocked_hp = False
@@ -207,8 +262,11 @@ class ClusterSimulator:
             self._apply_decision(task, decision)
             scheduled.append(task)
         for task in scheduled:
-            if task in self.pending:
-                self.pending.remove(task)
+            # A task scheduled this pass may already have been evicted again
+            # (as a preemption victim of a later task in the same pass) and
+            # re-queued; it is PENDING again and must stay in the queue.
+            if task.state is not TaskState.PENDING:
+                self.pending.discard(task)
 
     def _apply_decision(self, task: Task, decision: SchedulingDecision) -> None:
         delay = max(0.0, decision.start_delay)
@@ -239,7 +297,12 @@ class ClusterSimulator:
             self.scheduler.on_task_start(task, self.cluster, self.now)
 
     def _evict(self, task: Task) -> None:
-        """Evict a running spot task: roll back to its last checkpoint and re-queue."""
+        """Evict a running spot task: roll back to its last checkpoint and re-queue.
+
+        The evicted task re-enters the pending queue at the tail, behind
+        every task already waiting (schedulers re-sort the queue on every
+        pass, so FCFS schedulers still see its original submit time).
+        """
         run = task.run_logs[-1]
         elapsed = max(0.0, self.now - run.start)
         progress = task.completed_work + elapsed
@@ -279,7 +342,23 @@ def run_simulation(
     tasks: Sequence[Task],
     config: Optional[SimulatorConfig] = None,
 ) -> SimulationMetrics:
-    """Convenience wrapper: build a simulator, submit tasks and run to completion."""
+    """Build a simulator, submit ``tasks`` and run the trace to completion.
+
+    This is the one-call entry point used by the examples and every
+    experiment runner: it wires ``cluster`` and ``scheduler`` into a fresh
+    :class:`ClusterSimulator` and returns the resulting
+    :class:`~repro.cluster.metrics.SimulationMetrics`.
+
+    Example
+    -------
+    >>> from repro import Cluster, GFSScheduler, run_simulation
+    >>> from repro.workloads import generate_trace
+    >>> cluster = Cluster.homogeneous(num_nodes=32)
+    >>> trace = generate_trace(cluster_gpus=cluster.total_gpus(), duration_hours=16.0)
+    >>> metrics = run_simulation(cluster, GFSScheduler(org_history=trace.org_history),
+    ...                          trace.sorted_tasks())
+    >>> print(metrics.summary())
+    """
     simulator = ClusterSimulator(cluster, scheduler, config)
     simulator.submit_all(tasks)
     return simulator.run()

@@ -20,7 +20,17 @@ _task_counter = itertools.count()
 
 
 class TaskType(int, Enum):
-    """Priority class of a task (``\\zeta_i`` in the paper)."""
+    """Priority class of a task (``\\zeta_i`` in the paper).
+
+    ``HP`` tasks hold their GPUs until completion and are never
+    preempted; ``SPOT`` tasks run on surplus capacity and may be evicted
+    (rolling back to their last checkpoint) when HP demand grows.
+
+    Example
+    -------
+    >>> TaskType.HP > TaskType.SPOT   # priority-ordered integer enum
+    True
+    """
 
     SPOT = 0
     HP = 1
@@ -86,6 +96,13 @@ class Task:
     Parameters mirror the paper's task tuple: ``num_pods`` (w), ``gpus_per_pod``
     (g), ``task_type`` (zeta), ``checkpoints`` (psi). ``run_logs`` (iota) is
     populated by the simulator as the task executes.
+
+    Example
+    -------
+    >>> task = make_task(task_type=TaskType.SPOT, num_pods=2, gpus_per_pod=4.0,
+    ...                  duration=3600.0, submit_time=0.0)
+    >>> task.total_gpus
+    8.0
     """
 
     task_id: str

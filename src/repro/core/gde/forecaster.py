@@ -181,7 +181,6 @@ class OrgLinearOnlineForecaster(OnlineForecaster):
             fallback.history = {org: list(series)}
             return fallback.predict(org, start_hour, horizon)
         from .dataset import ForecastSample, WindowDataset
-        from .features import BusinessVocabulary
 
         window = series[-self._config.input_length :]
         sample = ForecastSample(

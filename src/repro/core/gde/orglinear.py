@@ -22,7 +22,7 @@ the attribute embeddings; DESIGN.md records this substitution.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np

@@ -18,7 +18,7 @@ by name.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Deque, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
@@ -38,7 +38,18 @@ from .sqa import GPUInventoryEstimator, SQAConfig, SpotQuotaAllocator
 
 @dataclass
 class GFSConfig:
-    """End-to-end configuration of GFS (defaults follow Table 4)."""
+    """End-to-end configuration of GFS (defaults follow Table 4).
+
+    Groups every knob of the three modules: the SQA guarantee targets
+    (``guarantee_rate``/``guarantee_hours``/``queue_threshold``), the PTS
+    scoring weights (``beta``/``gamma``/``penalty``), the GDE forecaster
+    choice, and the ablation switches used by :func:`make_ablation`.
+
+    Example
+    -------
+    >>> config = GFSConfig(guarantee_hours=2.0, forecaster="seasonal")
+    >>> scheduler = GFSScheduler(config, org_history=trace.org_history)
+    """
 
     #: MILP objective weight alpha (kept for the optimisation reference)
     alpha: float = 0.5
@@ -70,7 +81,24 @@ class GFSConfig:
 
 
 class GFSScheduler(Scheduler):
-    """The full GFS scheduler (GDE + SQA + PTS)."""
+    """The full GFS scheduler: GDE forecasting + SQA quota + PTS placement.
+
+    The paper's contribution assembled behind the common
+    :class:`~repro.schedulers.base.Scheduler` interface: per-organization
+    HP demand forecasts bound a dynamic spot quota with eviction-aware
+    feedback, and quota-admitted tasks are placed by the preemption-aware
+    task scheduler.  Pass the trace's ``org_history`` so the demand
+    estimator has training data.
+
+    Example
+    -------
+    >>> from repro import Cluster, GFSScheduler, run_simulation
+    >>> from repro.workloads import generate_trace
+    >>> cluster = Cluster.homogeneous(num_nodes=32)
+    >>> trace = generate_trace(cluster_gpus=cluster.total_gpus())
+    >>> scheduler = GFSScheduler(org_history=trace.org_history)
+    >>> metrics = run_simulation(cluster, scheduler, trace.sorted_tasks())
+    """
 
     name = "GFS"
 
@@ -273,7 +301,20 @@ def make_ablation(
     org_attributes: Optional[Mapping[str, Mapping[str, str]]] = None,
     **config_overrides,
 ) -> GFSScheduler:
-    """Build GFS or one of its ablation variants by name (e.g. ``"gfs-sp"``)."""
+    """Build GFS or one of its Section 4.6 ablation variants by name.
+
+    Variant names map to configuration overrides: ``"gfs-e"`` swaps the
+    forecaster for last week's peak, ``"gfs-d"`` freezes the eta feedback
+    loop, ``"gfs-s"`` disables the co-location/eviction-awareness scores,
+    ``"gfs-p"`` randomises preemption victims and ``"gfs-sp"`` combines
+    the last two; extra keyword overrides win over the variant's.
+
+    Example
+    -------
+    >>> scheduler = make_ablation("gfs-sp", org_history=trace.org_history)
+    >>> scheduler.name
+    'GFS-SP'
+    """
     key = name.lower()
     if key not in ABLATION_OVERRIDES:
         raise KeyError(f"unknown GFS variant {name!r}; expected one of {sorted(ABLATION_OVERRIDES)}")

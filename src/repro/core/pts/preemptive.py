@@ -17,10 +17,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
 from ...cluster import Cluster, Node, PodPlacement, Task
-from ...schedulers.placement import NodeView, gpus_held_on_node, spot_tasks_on_node
+from ...schedulers.placement import NodeView, spot_tasks_on_node
 
 
 @dataclass

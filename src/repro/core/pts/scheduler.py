@@ -48,19 +48,29 @@ class PreemptiveTaskScheduler:
     ) -> Optional[SchedulingDecision]:
         """Algorithm 3: non-preemptive first, preemptive fallback for HP tasks."""
         cfg = self.config
-        nodes = cluster.nodes_for_model(task.gpu_model)
-        placements = non_preemptive_placement(
-            task,
-            nodes,
-            now,
-            cfg.scoring,
-            use_colocation=cfg.use_colocation,
-            use_eviction_awareness=cfg.use_eviction_awareness,
-        )
+        # Fast capacity gate: the task's total demand exceeding the free
+        # capacity (an O(1) cached aggregate) makes non-preemptive placement
+        # impossible — skip the per-node scoring scan entirely.  The margin
+        # stays above the card-level fit EPSILON so the gate can only skip
+        # genuinely infeasible attempts.
+        placements = None
+        nodes: Optional[List] = None
+        if task.total_gpus <= cluster.idle_gpus(task.gpu_model) + 1e-6:
+            nodes = cluster.nodes_for_model(task.gpu_model)
+            placements = non_preemptive_placement(
+                task,
+                nodes,
+                now,
+                cfg.scoring,
+                use_colocation=cfg.use_colocation,
+                use_eviction_awareness=cfg.use_eviction_awareness,
+            )
         if placements is not None:
             return SchedulingDecision(placements=placements)
         if not task.is_hp:
             return None
+        if nodes is None:
+            nodes = cluster.nodes_for_model(task.gpu_model)
         result = preemptive_placement(
             task,
             nodes,

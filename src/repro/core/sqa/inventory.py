@@ -14,7 +14,7 @@ clamping at zero, which is what this implementation does.)
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 from ..gde.estimator import GPUDemandEstimator
 

@@ -14,7 +14,7 @@ high, grow it when evictions are rare but spot tasks queue for too long.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from .inventory import GPUInventoryEstimator, InventoryEstimate

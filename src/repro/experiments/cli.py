@@ -8,7 +8,8 @@ Usage::
     python -m repro.experiments.cli all --scale medium
 
 Each experiment prints the same rows as the corresponding table/figure of
-the paper (see EXPERIMENTS.md for the paper-vs-measured discussion).
+the paper (the README's "Paper tables and figures" section maps each artifact
+to its runner and benchmark file).
 """
 
 from __future__ import annotations

@@ -10,7 +10,7 @@ results can be regenerated at any size.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict
 
 from ..cluster import Cluster, GPUModel, SimulatorConfig
 from ..workloads import Trace, WorkloadConfig, SyntheticTraceGenerator

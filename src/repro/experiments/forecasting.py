@@ -5,7 +5,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence
 
-import numpy as np
 
 from ..analysis.reporting import format_table
 from ..core.gde import (

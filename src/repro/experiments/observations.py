@@ -24,7 +24,7 @@ from ..analysis.observations import (
     runtime_distribution,
 )
 from ..analysis.reporting import format_table
-from ..cluster import Cluster, GPUModel, run_simulation
+from ..cluster import Cluster, run_simulation
 from ..schedulers import YarnCSScheduler
 from ..workloads import (
     PRODUCTION_FLEET,

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional
+from typing import Callable, Dict, Mapping, Optional
 
 from ..cluster import SimulationMetrics, run_simulation
 from ..core import GFSConfig, GFSScheduler, make_ablation

@@ -13,7 +13,21 @@ from ..cluster import Cluster, SchedulingDecision, Task
 
 
 class Scheduler(ABC):
-    """Abstract scheduler driven by :class:`repro.cluster.ClusterSimulator`."""
+    """Abstract scheduler driven by :class:`repro.cluster.ClusterSimulator`.
+
+    Subclasses implement :meth:`try_schedule` (placement decisions) and may
+    override :meth:`sort_queue` (queue ordering), :meth:`blocks_on_failure`
+    (FCFS head-of-line semantics) and the ``on_*`` notification hooks.  The
+    simulator is duck-typed: any object with these methods works, but
+    inheriting from this class gets the default FCFS ordering for free.
+
+    Example
+    -------
+    >>> class FirstFit(Scheduler):
+    ...     def try_schedule(self, task, cluster, now):
+    ...         placements = find_placement(task, cluster.nodes)
+    ...         return SchedulingDecision(placements=placements) if placements else None
+    """
 
     #: human-readable name used in experiment tables
     name: str = "scheduler"

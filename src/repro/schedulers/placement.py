@@ -8,7 +8,7 @@ simulator materialises the decision afterwards.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
 
 from ..cluster import Node, PodPlacement, Task
 from ..cluster.gpu import EPSILON

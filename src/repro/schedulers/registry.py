@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List
 
 from .base import Scheduler
 from .chronus import ChronusScheduler
@@ -27,7 +27,21 @@ def available_schedulers() -> List[str]:
 
 
 def create_scheduler(name: str, **kwargs) -> Scheduler:
-    """Instantiate a scheduler by name (e.g. ``"gfs"``, ``"yarn-cs"``)."""
+    """Instantiate a scheduler by its registered (case-insensitive) name.
+
+    Accepts the four baselines (``"yarn-cs"``, ``"chronus"``, ``"lyra"``,
+    ``"fgd"``), ``"gfs"`` and the ablation variants (``"gfs-e"``,
+    ``"gfs-d"``, ``"gfs-s"``, ``"gfs-p"``, ``"gfs-sp"``); keyword
+    arguments are forwarded to the scheduler constructor.  Raises
+    ``KeyError`` listing the registered names when ``name`` is unknown.
+
+    Example
+    -------
+    >>> from repro import create_scheduler
+    >>> scheduler = create_scheduler("gfs", org_history=trace.org_history)
+    >>> scheduler.name
+    'GFS'
+    """
     _ensure_gfs_registered()
     key = name.lower()
     if key not in _REGISTRY:

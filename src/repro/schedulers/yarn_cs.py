@@ -14,7 +14,6 @@ from ..cluster import Cluster, Node, SchedulingDecision, Task
 from .base import Scheduler
 from .placement import (
     NodeView,
-    build_views,
     filter_nodes,
     find_placement,
     gpus_held_on_node,
@@ -29,7 +28,18 @@ def best_fit_score(node: Node, view: NodeView, task: Task) -> float:
 
 
 class YarnCSScheduler(Scheduler):
-    """Classic FCFS + best-fit scheduler with unrestricted preemption."""
+    """Classic FCFS + best-fit scheduler with unrestricted preemption.
+
+    The paper's YARN capacity-scheduler baseline: tasks are served in
+    submission order (a stuck spot task blocks the spot tasks behind it),
+    placed best-fit, and HP tasks may evict any spot task — there is no
+    predictive quota, so spot eviction rates climb with HP load.
+
+    Example
+    -------
+    >>> from repro import Cluster, YarnCSScheduler, run_simulation
+    >>> metrics = run_simulation(Cluster.homogeneous(4), YarnCSScheduler(), tasks)
+    """
 
     name = "YARN-CS"
 

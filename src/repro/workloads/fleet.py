@@ -8,8 +8,8 @@ here, optionally scaled down so the full suite runs quickly on one machine.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping
+from dataclasses import dataclass
+from typing import Dict, List
 
 from ..cluster import Cluster, GPUModel, Node, make_nodes
 

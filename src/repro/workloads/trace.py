@@ -11,7 +11,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 
@@ -48,7 +48,20 @@ class TraceStatistics:
 
 @dataclass
 class Trace:
-    """A replayable workload trace."""
+    """A replayable workload trace.
+
+    Bundles the task list with the per-organization hourly GPU demand
+    history the GDE forecaster trains on, plus generation metadata (seed,
+    scale, scenario).  Feed ``sorted_tasks()`` to the simulator so
+    arrivals are replayed in submission order.
+
+    Example
+    -------
+    >>> trace = generate_trace(cluster_gpus=256.0)
+    >>> metrics = run_simulation(cluster, scheduler, trace.sorted_tasks())
+    >>> trace.statistics().num_hp > 0
+    True
+    """
 
     tasks: List[Task] = field(default_factory=list)
     #: organization name -> hourly GPU demand history (for GDE training)

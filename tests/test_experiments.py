@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.cluster import GPUModel
 from repro.experiments import (
     ExperimentScale,
     FULL_SCALE,

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.cluster import GPUModel, TaskType
+from repro.cluster import GPUModel
 from repro.workloads import (
     HP_GANG_FRACTION,
     SPOT_GANG_FRACTION,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cluster import RunLog, Task, TaskState, TaskType, generate_checkpoints, make_task
+from repro.cluster import RunLog, TaskState, TaskType, generate_checkpoints
 from tests.conftest import build_task
 
 
