@@ -5,7 +5,12 @@ PYTHON      ?= python
 PYTHONPATH  := src
 export PYTHONPATH
 
-.PHONY: test bench bench-scaling lint verify all
+.PHONY: test bench bench-scaling lint verify sweep all
+
+# Knobs for `make sweep` (scenario library + parallel experiment engine).
+SCENARIO ?= burst
+WORKERS  ?= 4
+SCALE    ?= small
 
 ## Tier-1 verify: the full unit suite + every benchmark at reduced scale.
 verify:
@@ -22,6 +27,12 @@ bench:
 ## Just the scaling benchmark (legacy-vs-optimized engine comparison).
 bench-scaling:
 	$(PYTHON) -m pytest benchmarks/test_bench_scaling.py -q -s
+
+## Scenario sweep through the parallel experiment engine, e.g.
+##   make sweep SCENARIO=spot_heavy WORKERS=8 SCALE=medium
+sweep:
+	$(PYTHON) -m repro.experiments.cli sweep --scenario $(SCENARIO) \
+		--scale $(SCALE) --workers $(WORKERS) --cache-dir .repro-cache
 
 ## Lint: ruff when available, otherwise a byte-compile syntax sweep.
 lint:

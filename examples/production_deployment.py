@@ -6,15 +6,32 @@ the Table 1 fleet under the legacy first-fit policy and under GFS, then
 prices the allocation-rate and eviction-rate changes with the cloud
 pricing model.
 
-Run with:  python examples/production_deployment.py
+Run with:  python examples/production_deployment.py [--fast]
+Exits non-zero if the experiment fails to cover the fleet or the pricing
+model produces nonsense.
 """
+
+import argparse
+import math
+import sys
 
 from repro.experiments import paper_reference_benefit, run_deployment_experiment
 
 
-def main() -> None:
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--fast", action="store_true", help="tiny fleet/duration for CI smoke runs"
+    )
+    args = parser.parse_args(argv)
+
+    fleet_scale = 0.004 if args.fast else 0.02
+    duration_hours = 6.0 if args.fast else 12.0
+
     print("Simulating pre/post-GFS operating points per GPU model (scaled fleet)...")
-    result = run_deployment_experiment(fleet_scale=0.02, duration_hours=12.0, spot_scale=2.0)
+    result = run_deployment_experiment(
+        fleet_scale=fleet_scale, duration_hours=duration_hours, spot_scale=2.0
+    )
     print()
     print(result.report())
 
@@ -38,6 +55,30 @@ def main() -> None:
         f"(Table 1 / Figure 9 fleet) yields ${reference.monthly_gain_usd:,.0f} per month."
     )
 
+    # Sanity checks for CI: all four fleet models simulated, rates in range,
+    # and the paper-reference pricing strictly positive.
+    failures = []
+    if len(result.per_model) != 4:
+        failures.append(f"expected 4 GPU models, got {len(result.per_model)}")
+    for model, outcome in result.per_model.items():
+        for label, rate in (
+            ("eviction_before", outcome.eviction_before),
+            ("eviction_after", outcome.eviction_after),
+            ("allocation_before", outcome.allocation_before),
+            ("allocation_after", outcome.allocation_after),
+        ):
+            if not (math.isfinite(rate) and 0.0 <= rate <= 1.0):
+                failures.append(f"{model.value}.{label} out of range: {rate}")
+    if result.benefit is None or not math.isfinite(result.benefit.monthly_gain_usd):
+        failures.append("missing/non-finite simulated benefit")
+    if not reference.monthly_gain_usd > 0:
+        failures.append(f"paper-reference benefit not positive: {reference.monthly_gain_usd}")
+    if failures:
+        print("\nFAILED:", "; ".join(failures), file=sys.stderr)
+        return 1
+    print("\nOK: deployment experiment covered the fleet with sane operating points.")
+    return 0
+
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -1,6 +1,21 @@
-"""Experiment harness: one runner per table/figure of the paper's evaluation."""
+"""Experiment harness: one runner per table/figure of the paper's evaluation.
+
+Grid-shaped experiments (Tables 5/6/8/9/10 and scenario sweeps) run through
+the parallel experiment engine (:mod:`.engine`), which fans the scheduler x
+workload x seed matrix out across worker processes and memoises results in
+a content-keyed on-disk cache (:mod:`.artifacts`).  See ``docs/experiments.md``.
+"""
 
 from .ablation import AblationResult, run_table10, run_table8, run_table9
+from .artifacts import (
+    ArtifactCache,
+    content_key,
+    export_grid_csv,
+    export_grid_json,
+    flatten_metrics,
+    metrics_from_payload,
+    metrics_to_payload,
+)
 from .comparison import Table5Result, run_table5
 from .config import (
     ExperimentScale,
@@ -14,6 +29,19 @@ from .deployment import (
     ModelDeploymentOutcome,
     paper_reference_benefit,
     run_deployment_experiment,
+)
+from .engine import (
+    EngineStats,
+    ExperimentEngine,
+    SchedulerSpec,
+    SimulationJob,
+    WorkloadSpec,
+    baseline_specs,
+    comparison_specs,
+    execute_job,
+    gfs_spec,
+    gfs_variant_spec,
+    sweep_jobs,
 )
 from .forecasting import (
     ForecastingExperimentConfig,
@@ -43,8 +71,11 @@ from .sensitivity import Table6Result, run_table6
 
 __all__ = [
     "AblationResult",
+    "ArtifactCache",
     "ComparisonResults",
     "DeploymentResult",
+    "EngineStats",
+    "ExperimentEngine",
     "ExperimentResult",
     "ExperimentScale",
     "FULL_SCALE",
@@ -54,12 +85,26 @@ __all__ = [
     "ModelDeploymentOutcome",
     "ObservationResults",
     "SMALL_SCALE",
+    "SchedulerSpec",
+    "SimulationJob",
     "Table5Result",
     "Table6Result",
+    "WorkloadSpec",
     "baseline_factories",
+    "baseline_specs",
+    "comparison_specs",
+    "content_key",
+    "execute_job",
+    "export_grid_csv",
+    "export_grid_json",
+    "flatten_metrics",
     "build_forecasting_datasets",
     "gfs_factory",
+    "gfs_spec",
     "gfs_variant_factory",
+    "gfs_variant_spec",
+    "metrics_from_payload",
+    "metrics_to_payload",
     "paper_reference_benefit",
     "run_deployment_experiment",
     "run_eviction_observation",
@@ -77,4 +122,5 @@ __all__ = [
     "run_table8",
     "run_table9",
     "scale_by_name",
+    "sweep_jobs",
 ]

@@ -12,7 +12,8 @@ from typing import Dict, Optional, Sequence
 
 from ..analysis.reporting import format_table
 from .config import ExperimentScale, MEDIUM_SCALE
-from .runner import ExperimentResult, gfs_factory, gfs_variant_factory, run_one
+from .engine import ExperimentEngine, WorkloadSpec, gfs_spec, gfs_variant_spec, sweep_jobs
+from .runner import ExperimentResult
 
 
 @dataclass
@@ -44,37 +45,67 @@ class AblationResult:
 
 
 def _run_variants(
-    scale: ExperimentScale, variants: Sequence[str], title: str, spot_scale: float
+    scale: ExperimentScale,
+    variants: Sequence[str],
+    title: str,
+    spot_scale: float,
+    engine: Optional[ExperimentEngine] = None,
+    prefix: str = "ablation",
 ) -> AblationResult:
+    engine = engine or ExperimentEngine()
+    specs = [
+        gfs_spec() if variant.lower() == "gfs" else gfs_variant_spec(variant)
+        for variant in variants
+    ]
+    workload = WorkloadSpec(spot_scale=spot_scale, label="medium")
+    metrics = engine.run(sweep_jobs(scale, specs, [workload], prefix=prefix))
     result = AblationResult(title=title)
-    for variant in variants:
-        if variant.lower() == "gfs":
-            factory = gfs_factory()
-        else:
-            factory = gfs_variant_factory(variant)
-        result.per_variant[variant.upper() if variant != "gfs" else "GFS"] = run_one(
-            scale, factory, scheduler_name=variant, workload_name="medium", spot_scale=spot_scale
+    for spec in specs:
+        result.per_variant[spec.display] = ExperimentResult(
+            scheduler=spec.display,
+            workload="medium",
+            metrics=metrics[f"{prefix}/medium/{spec.display}"],
         )
     return result
 
 
-def run_table8(scale: Optional[ExperimentScale] = None, spot_scale: float = 2.0) -> AblationResult:
+def run_table8(
+    scale: Optional[ExperimentScale] = None,
+    spot_scale: float = 2.0,
+    engine: Optional[ExperimentEngine] = None,
+) -> AblationResult:
     """GDE ablation (Table 8): GFS-e replaces the forecaster by last week's peak."""
-    return _run_variants(scale or MEDIUM_SCALE, ["gfs-e", "gfs"], "Table 8 (GDE ablation)", spot_scale)
+    return _run_variants(
+        scale or MEDIUM_SCALE, ["gfs-e", "gfs"], "Table 8 (GDE ablation)", spot_scale,
+        engine=engine, prefix="table8",
+    )
 
 
-def run_table9(scale: Optional[ExperimentScale] = None, spot_scale: float = 2.0) -> AblationResult:
+def run_table9(
+    scale: Optional[ExperimentScale] = None,
+    spot_scale: float = 2.0,
+    engine: Optional[ExperimentEngine] = None,
+) -> AblationResult:
     """SQA ablation (Table 9): GFS-d disables the eta feedback loop."""
-    return _run_variants(scale or MEDIUM_SCALE, ["gfs-d", "gfs"], "Table 9 (SQA ablation)", spot_scale)
+    return _run_variants(
+        scale or MEDIUM_SCALE, ["gfs-d", "gfs"], "Table 9 (SQA ablation)", spot_scale,
+        engine=engine, prefix="table9",
+    )
 
 
-def run_table10(scale: Optional[ExperimentScale] = None, spot_scale: float = 2.0) -> AblationResult:
+def run_table10(
+    scale: Optional[ExperimentScale] = None,
+    spot_scale: float = 2.0,
+    engine: Optional[ExperimentEngine] = None,
+) -> AblationResult:
     """PTS ablation (Table 10): degraded scoring and/or random preemption."""
     return _run_variants(
         scale or MEDIUM_SCALE,
         ["gfs-sp", "gfs-s", "gfs-p", "gfs"],
         "Table 10 (PTS ablation)",
         spot_scale,
+        engine=engine,
+        prefix="table10",
     )
 
 

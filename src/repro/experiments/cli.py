@@ -3,13 +3,21 @@
 Usage::
 
     python -m repro.experiments.cli table5 --scale small
-    python -m repro.experiments.cli table6 table8 table9 table10
+    python -m repro.experiments.cli table6 table8 table9 table10 --workers 4
     python -m repro.experiments.cli fig10 fig9 observations
-    python -m repro.experiments.cli all --scale medium
+    python -m repro.experiments.cli all --scale medium --workers 8
+    python -m repro.experiments.cli sweep --scenario burst --workers 8
+    python -m repro.experiments.cli scenarios
 
 Each experiment prints the same rows as the corresponding table/figure of
 the paper (the README's "Paper tables and figures" section maps each artifact
-to its runner and benchmark file).
+to its runner and benchmark file).  ``sweep`` runs the scheduler line-up over
+any scenario from the workload scenario library; ``scenarios`` lists the
+catalog.  ``--workers N`` fans the scheduler x workload grid out across N
+worker processes (results are bit-identical at any worker count), and
+``--cache-dir`` memoises finished cells on disk so re-runs are incremental.
+``--out DIR`` exports reports plus a JSON/CSV grid of every simulated cell.
+See ``docs/experiments.md`` for the full cookbook.
 """
 
 from __future__ import annotations
@@ -17,35 +25,54 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable, Dict, List
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
 
+from ..analysis.reporting import format_scheduler_table
+from ..workloads import get_scenario, iter_scenarios
 from .ablation import run_table10, run_table8, run_table9
+from .artifacts import ArtifactCache, export_grid_csv, export_grid_json
 from .comparison import run_table5
 from .config import ExperimentScale, scale_by_name
 from .deployment import paper_reference_benefit, run_deployment_experiment
+from .engine import (
+    ExperimentEngine,
+    WorkloadSpec,
+    comparison_specs,
+    sweep_jobs,
+)
 from .forecasting import run_forecasting_experiment
 from .observations import run_observations
+from .runner import ExperimentResult
 from .sensitivity import run_table6
+
+#: Engine used by the grid-backed runners of the current ``main`` call.
+#: ``None`` means each runner builds its own serial engine.
+_ACTIVE_ENGINE: Optional[ExperimentEngine] = None
+
+
+def _engine() -> Optional[ExperimentEngine]:
+    return _ACTIVE_ENGINE
 
 
 def _run_table5(scale: ExperimentScale) -> str:
-    return run_table5(scale).report()
+    return run_table5(scale, engine=_engine()).report()
 
 
 def _run_table6(scale: ExperimentScale) -> str:
-    return run_table6(scale).report()
+    return run_table6(scale, engine=_engine()).report()
 
 
 def _run_table8(scale: ExperimentScale) -> str:
-    return run_table8(scale).report()
+    return run_table8(scale, engine=_engine()).report()
 
 
 def _run_table9(scale: ExperimentScale) -> str:
-    return run_table9(scale).report()
+    return run_table9(scale, engine=_engine()).report()
 
 
 def _run_table10(scale: ExperimentScale) -> str:
-    return run_table10(scale).report()
+    return run_table10(scale, engine=_engine()).report()
 
 
 def _run_fig10(scale: ExperimentScale) -> str:
@@ -78,24 +105,165 @@ EXPERIMENTS: Dict[str, Callable[[ExperimentScale], str]] = {
 }
 
 
+def _list_scenarios() -> str:
+    lines = ["Workload scenario library (cli sweep --scenario <name>):", ""]
+    for scenario in iter_scenarios():
+        lines.append(f"  {scenario.name:11s} {scenario.summary}")
+    lines.append("")
+    lines.append("Catalog with every knob each scenario turns: docs/workloads.md")
+    return "\n".join(lines)
+
+
+def _run_scenario_sweep(scale: ExperimentScale, args, engine: ExperimentEngine) -> str:
+    """Run the scheduler line-up over one named scenario."""
+    scenario = get_scenario(args.scenario)
+    specs = comparison_specs(include_gfs=True)
+    if args.schedulers:
+        wanted = {name.strip().lower() for name in args.schedulers.split(",")}
+        specs = [s for s in specs if s.display.lower() in wanted or s.kind in wanted]
+        if not specs:
+            raise SystemExit(f"no scheduler matches --schedulers {args.schedulers!r}")
+    workloads = [
+        WorkloadSpec(
+            scenario=scenario.name,
+            spot_scale=args.spot_scale,
+            seed_offset=seed_offset,
+            label=scenario.name,
+        )
+        for seed_offset in range(args.seeds)
+    ]
+    metrics = engine.run(sweep_jobs(scale, specs, workloads, prefix="sweep"))
+
+    sections = [f"Scenario: {scenario.name} — {scenario.summary}"]
+    for workload in workloads:
+        rows = {}
+        for spec in specs:
+            suffix = f"+s{workload.seed_offset}" if workload.seed_offset else ""
+            key = f"sweep/{workload.display}{suffix}/{spec.display}"
+            rows[spec.display] = ExperimentResult(
+                scheduler=spec.display,
+                workload=workload.display,
+                metrics=metrics[key],
+            ).as_row()
+        title = f"Sweep ({scenario.name}, spot x{args.spot_scale:g}"
+        if args.seeds > 1:
+            title += f", seed offset {workload.seed_offset}"
+        sections.append(format_scheduler_table(rows, title=title + ")"))
+    return "\n\n".join(sections)
+
+
+def _export_artifacts(out_dir: Path, reports: Dict[str, str], engine: ExperimentEngine) -> None:
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for name, report in reports.items():
+        (out_dir / f"{name}.txt").write_text(report + "\n")
+    rows = engine.grid_rows()
+    if rows:
+        export_grid_json(rows, out_dir / "grid.json")
+        export_grid_csv(rows, out_dir / "grid.csv")
+    print(f"[artifacts written to {out_dir}: {len(reports)} report(s), {len(rows)} grid row(s)]")
+
+
 def main(argv: List[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
     parser.add_argument(
         "experiments",
         nargs="+",
-        choices=sorted(EXPERIMENTS) + ["all"],
-        help="which experiments to regenerate",
+        choices=sorted(EXPERIMENTS) + ["all", "sweep", "scenarios"],
+        help="experiments to regenerate, 'sweep' for a scenario sweep, "
+        "'scenarios' to list the scenario library",
     )
     parser.add_argument("--scale", default="small", help="small, medium or full")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for grid experiments (1 = serial reference path)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory of the on-disk result cache (enables incremental re-runs)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the result cache even if --cache-dir is set",
+    )
+    parser.add_argument(
+        "--out", default=None, help="export reports plus a JSON/CSV grid to this directory"
+    )
+    parser.add_argument("--scenario", default="default", help="scenario name for 'sweep'")
+    parser.add_argument(
+        "--spot-scale",
+        type=float,
+        default=2.0,
+        help="spot submission multiplier for 'sweep' (1=low, 2=medium, 4=high)",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=1, help="number of seed offsets for 'sweep'"
+    )
+    parser.add_argument(
+        "--schedulers",
+        default=None,
+        help="comma-separated scheduler subset for 'sweep' (e.g. GFS,YARN-CS)",
+    )
+    parser.add_argument(
+        "--nodes", type=int, default=None, help="override the scale's node count"
+    )
+    parser.add_argument(
+        "--hours", type=float, default=None, help="override the scale's duration (hours)"
+    )
     args = parser.parse_args(argv)
 
     scale = scale_by_name(args.scale)
-    names = sorted(EXPERIMENTS) if "all" in args.experiments else args.experiments
-    for name in names:
-        start = time.perf_counter()
-        print(f"===== {name} (scale={scale.name}) =====")
-        print(EXPERIMENTS[name](scale))
-        print(f"[{name} finished in {time.perf_counter() - start:.1f}s]\n")
+    if args.nodes is not None or args.hours is not None:
+        from dataclasses import replace
+
+        scale = replace(
+            scale,
+            name=f"{scale.name}*",
+            num_nodes=args.nodes if args.nodes is not None else scale.num_nodes,
+            duration_hours=args.hours if args.hours is not None else scale.duration_hours,
+        )
+
+    cache = None
+    if args.cache_dir and not args.no_cache:
+        cache = ArtifactCache(args.cache_dir)
+    engine = ExperimentEngine(workers=args.workers, cache=cache)
+
+    if "all" in args.experiments:
+        names = sorted(EXPERIMENTS)
+    else:
+        names = args.experiments
+
+    global _ACTIVE_ENGINE
+    _ACTIVE_ENGINE = engine
+    reports: Dict[str, str] = {}
+    try:
+        for name in names:
+            start = time.perf_counter()
+            print(f"===== {name} (scale={scale.name}) =====")
+            if name == "scenarios":
+                report = _list_scenarios()
+            elif name == "sweep":
+                report = _run_scenario_sweep(scale, args, engine)
+            else:
+                report = EXPERIMENTS[name](scale)
+            reports[name.replace("/", "_")] = report
+            print(report)
+            print(f"[{name} finished in {time.perf_counter() - start:.1f}s]\n")
+    finally:
+        _ACTIVE_ENGINE = None
+
+    if engine.stats.total:
+        print(
+            f"[engine: {engine.stats.executed} simulated, "
+            f"{engine.stats.cache_hits} from cache, workers={engine.workers}]"
+        )
+    if args.out:
+        _export_artifacts(Path(args.out), reports, engine)
     return 0
 
 

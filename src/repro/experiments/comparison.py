@@ -8,7 +8,8 @@ from typing import Dict, Optional
 from ..analysis.reporting import format_scheduler_table, improvement_row
 from ..workloads import SpotWorkloadLevel, all_levels, spot_scale
 from .config import ExperimentScale, MEDIUM_SCALE
-from .runner import ComparisonResults, baseline_factories, gfs_factory, run_sweep
+from .engine import ExperimentEngine, WorkloadSpec, comparison_specs, sweep_jobs
+from .runner import ComparisonResults, ExperimentResult
 
 
 @dataclass
@@ -38,18 +39,31 @@ def run_table5(
     scale: Optional[ExperimentScale] = None,
     levels: Optional[list[SpotWorkloadLevel]] = None,
     include_gfs: bool = True,
+    engine: Optional[ExperimentEngine] = None,
 ) -> Table5Result:
-    """Regenerate Table 5 at the given scale."""
+    """Regenerate Table 5 at the given scale.
+
+    The scheduler x workload grid runs through the experiment engine, so
+    passing an ``engine`` with ``workers > 1`` parallelises the 12-15
+    simulations across processes (and caches them, if configured).
+    """
     scale = scale or MEDIUM_SCALE
     levels = levels or all_levels()
-    factories = baseline_factories()
-    if include_gfs:
-        factories["GFS"] = gfs_factory()
+    engine = engine or ExperimentEngine()
+    specs = comparison_specs(include_gfs=include_gfs)
+    workloads = [
+        WorkloadSpec(spot_scale=spot_scale(level), label=level.value) for level in levels
+    ]
+    metrics = engine.run(sweep_jobs(scale, specs, workloads, prefix="table5"))
     result = Table5Result()
     for level in levels:
-        result.per_workload[level.value] = run_sweep(
-            scale, factories, workload_name=level.value, spot_scale=spot_scale(level)
-        )
+        results = ComparisonResults(workload=level.value)
+        for spec in specs:
+            key = f"table5/{level.value}/{spec.display}"
+            results.results[spec.display] = ExperimentResult(
+                scheduler=spec.display, workload=level.value, metrics=metrics[key]
+            )
+        result.per_workload[level.value] = results
     return result
 
 

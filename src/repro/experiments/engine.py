@@ -1,0 +1,381 @@
+"""Parallel experiment engine: fan a simulation grid out across processes.
+
+The engine turns the scheduler x workload x seed matrix behind every paper
+table into *declarative, picklable job specs* and executes them either
+serially or on a :class:`concurrent.futures.ProcessPoolExecutor`.  Because
+each job re-creates its trace, cluster and scheduler from the spec inside
+the worker process — with an explicit RNG seed and a reset task-id counter
+— results are bit-identical at any worker count (guarded by
+``tests/test_engine.py::test_worker_count_parity``).
+
+Results are memoised in a content-keyed :class:`~.artifacts.ArtifactCache`
+(SHA-256 of the canonical job payload), so re-runs and ``cli all`` are
+incremental: only cells whose configuration changed are re-simulated.
+
+Typical use::
+
+    engine = ExperimentEngine(workers=8, cache=ArtifactCache(".repro-cache"))
+    jobs = sweep_jobs(scale, comparison_specs(), [WorkloadSpec(spot_scale=2.0)])
+    metrics = engine.run(jobs)          # {job.key: SimulationMetrics}
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..cluster import SimulationMetrics, reset_task_counter, run_simulation
+from ..core import GFSConfig, GFSScheduler, make_ablation
+from ..schedulers import (
+    ChronusScheduler,
+    FGDScheduler,
+    LyraScheduler,
+    YarnCSScheduler,
+)
+from ..workloads import Scenario, get_scenario
+from .artifacts import ArtifactCache, flatten_metrics
+from .config import ExperimentScale
+
+#: Hashable key/value pairs standing in for a dict in frozen specs.
+OverridePairs = Tuple[Tuple[str, object], ...]
+
+
+def as_pairs(overrides: Optional[Mapping[str, object]]) -> OverridePairs:
+    """Convert an override mapping into sorted hashable pairs."""
+    if not overrides:
+        return ()
+    return tuple(sorted(overrides.items()))
+
+
+# ----------------------------------------------------------------------
+# Declarative job specs (must stay picklable: no lambdas, no closures)
+# ----------------------------------------------------------------------
+_BASELINE_CLASSES = {
+    "yarn-cs": YarnCSScheduler,
+    "chronus": ChronusScheduler,
+    "lyra": LyraScheduler,
+    "fgd": FGDScheduler,
+}
+
+_DISPLAY_NAMES = {
+    "yarn-cs": "YARN-CS",
+    "chronus": "Chronus",
+    "lyra": "Lyra",
+    "fgd": "FGD",
+    "gfs": "GFS",
+}
+
+
+@dataclass(frozen=True)
+class SchedulerSpec:
+    """Which scheduler to build inside the worker.
+
+    ``kind`` is a baseline name (``yarn-cs``/``chronus``/``lyra``/``fgd``),
+    ``gfs``, or a GFS ablation variant (``gfs-e``/``gfs-d``/``gfs-s``/
+    ``gfs-p``/``gfs-sp``).  ``gfs_config`` holds :class:`GFSConfig` keyword
+    overrides as sorted pairs (e.g. ``(("guarantee_hours", 4.0),)``).
+    """
+
+    kind: str
+    label: str = ""
+    gfs_config: OverridePairs = ()
+
+    @property
+    def display(self) -> str:
+        if self.label:
+            return self.label
+        key = self.kind.lower()
+        return _DISPLAY_NAMES.get(key, key.upper())
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Which workload to generate inside the worker.
+
+    ``scenario`` names a registered :class:`~repro.workloads.Scenario`;
+    ``overrides`` are extra :class:`WorkloadConfig` field overrides (sorted
+    pairs) applied on top of the scenario's own.
+    """
+
+    scenario: str = "default"
+    spot_scale: float = 1.0
+    seed_offset: int = 0
+    label: str = ""
+    overrides: OverridePairs = ()
+
+    @property
+    def display(self) -> str:
+        return self.label or self.scenario
+
+
+@dataclass(frozen=True)
+class SimulationJob:
+    """One cell of the experiment grid: scale x scheduler x workload.
+
+    ``scenario`` is the resolved :class:`Scenario` object; leave it
+    ``None`` and the engine fills it in from the registry before
+    dispatch, so custom scenarios registered in the parent process reach
+    workers on any multiprocessing start method (fork *and* spawn).
+    """
+
+    key: str
+    scale: ExperimentScale
+    scheduler: SchedulerSpec
+    workload: WorkloadSpec
+    scenario: Optional[Scenario] = None
+
+    def resolved_scenario(self) -> Scenario:
+        return self.scenario if self.scenario is not None else get_scenario(
+            self.workload.scenario
+        )
+
+    def describe(self) -> Dict[str, object]:
+        """Flat descriptor used in exports and cache payload auditing."""
+        return {
+            "key": self.key,
+            "scale": self.scale.name,
+            "scenario": self.workload.scenario,
+            "workload": self.workload.display,
+            "scheduler": self.scheduler.display,
+            "spot_scale": self.workload.spot_scale,
+            "seed": self.scale.seed + self.workload.seed_offset,
+        }
+
+
+def build_scheduler(spec: SchedulerSpec, trace) -> object:
+    """Materialise a scheduler from its spec (runs inside the worker)."""
+    kind = spec.kind.lower()
+    if kind in _BASELINE_CLASSES:
+        return _BASELINE_CLASSES[kind]()
+    config = GFSConfig(**dict(spec.gfs_config)) if spec.gfs_config else None
+    if kind == "gfs":
+        return GFSScheduler(config or GFSConfig(), org_history=trace.org_history)
+    if kind.startswith("gfs-"):
+        return make_ablation(kind, config=config, org_history=trace.org_history)
+    raise KeyError(
+        f"unknown scheduler kind {spec.kind!r}; expected one of "
+        f"{sorted(_BASELINE_CLASSES) + ['gfs', 'gfs-<variant>']}"
+    )
+
+
+def cache_payload(job: SimulationJob) -> Dict[str, object]:
+    """The *semantic* payload a job's cache key is derived from.
+
+    Deliberately excludes the grid key and display labels (so e.g. the
+    GFS/medium cell of Table 8 and Table 9 share one cache entry) and
+    deliberately *includes* the resolved scenario parameterization —
+    overrides, fleet mix and the organization mix materialised for this
+    job's seed — so editing or re-registering a scenario invalidates its
+    cached results instead of serving stale metrics.
+    """
+    scale = job.scale
+    scenario = job.resolved_scenario()
+    seed = scale.seed + job.workload.seed_offset
+    descriptor: Dict[str, object] = {
+        "name": scenario.name,
+        "overrides": dict(scenario.overrides),
+        "fleet_mix": scenario.fleet_mix,
+    }
+    if scenario.org_builder is not None:
+        descriptor["organizations"] = scenario.org_builder(seed)
+    return {
+        "scale": {
+            "num_nodes": scale.num_nodes,
+            "gpus_per_node": scale.gpus_per_node,
+            "duration_hours": scale.duration_hours,
+            "seed": scale.seed,
+            "gpu_model": scale.gpu_model,
+            "workload_overrides": scale.workload_overrides,
+        },
+        "scheduler": {"kind": job.scheduler.kind.lower(), "gfs_config": job.scheduler.gfs_config},
+        "workload": {
+            "scenario": descriptor,
+            "spot_scale": job.workload.spot_scale,
+            "seed_offset": job.workload.seed_offset,
+            "overrides": job.workload.overrides,
+        },
+    }
+
+
+def execute_job(job: SimulationJob) -> SimulationMetrics:
+    """Run one grid cell; top-level so it pickles into worker processes.
+
+    Deterministic given the job spec alone: the trace RNG is seeded from
+    the spec and the global task-id counter is reset, so a cell computes
+    the same metrics whether it runs serially, in a pool, or from cache.
+    """
+    reset_task_counter()
+    scale = job.scale
+    scenario = job.resolved_scenario()
+    trace = scenario.build_trace(
+        cluster_gpus=scale.total_gpus,
+        duration_hours=scale.duration_hours,
+        spot_scale=job.workload.spot_scale,
+        seed=scale.seed + job.workload.seed_offset,
+        gpu_model=scale.gpu_model,
+        extra_overrides=dict(job.workload.overrides),
+        base_overrides=scale.workload_overrides,
+    )
+    cluster = scenario.build_cluster(scale.num_nodes, scale.gpus_per_node, scale.gpu_model)
+    scheduler = build_scheduler(job.scheduler, trace)
+    return run_simulation(cluster, scheduler, trace.sorted_tasks(), scale.simulator_config())
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+@dataclass
+class EngineStats:
+    """Bookkeeping of one engine lifetime."""
+
+    executed: int = 0
+    cache_hits: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.executed + self.cache_hits
+
+
+def default_worker_count() -> int:
+    """Worker default: every core, capped so laptops stay responsive."""
+    return min(8, os.cpu_count() or 1)
+
+
+class ExperimentEngine:
+    """Runs simulation grids, fanning out across processes and caching.
+
+    ``workers=1`` (the default) executes in-process — the reference serial
+    path.  ``workers=N`` uses a process pool; results are identical by
+    construction because each job is self-seeding.  With a ``cache``,
+    finished cells are persisted and looked up by content key before any
+    simulation is launched.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache: Optional[ArtifactCache] = None,
+        use_cache: bool = True,
+    ):
+        self.workers = max(1, int(workers))
+        self.cache = cache
+        self.use_cache = use_cache and cache is not None
+        self.stats = EngineStats()
+        #: every (job, metrics) pair this engine has produced, in run order
+        self.history: List[Tuple[SimulationJob, SimulationMetrics]] = []
+
+    # ------------------------------------------------------------------
+    def run(self, jobs: Sequence[SimulationJob]) -> Dict[str, SimulationMetrics]:
+        """Execute a grid; returns ``{job.key: metrics}`` in job order."""
+        jobs = list(jobs)
+        keys = [job.key for job in jobs]
+        if len(set(keys)) != len(keys):
+            dupes = sorted({k for k in keys if keys.count(k) > 1})
+            raise ValueError(f"duplicate job keys in grid: {dupes}")
+        # Resolve scenario names against the registry here, in the parent:
+        # the resolved object rides inside the (picklable) job, so custom
+        # scenarios survive spawn-based worker processes, and unknown
+        # names fail fast before anything is simulated.
+        jobs = [
+            job if job.scenario is not None
+            else dataclasses.replace(job, scenario=get_scenario(job.workload.scenario))
+            for job in jobs
+        ]
+
+        results: Dict[str, SimulationMetrics] = {}
+        pending: List[Tuple[SimulationJob, Optional[str]]] = []
+        for job in jobs:
+            cache_key = None
+            if self.use_cache:
+                cache_key = self.cache.key_for(cache_payload(job))
+                cached = self.cache.load(cache_key)
+                if cached is not None:
+                    results[job.key] = cached
+                    self.stats.cache_hits += 1
+                    continue
+            pending.append((job, cache_key))
+
+        if pending:
+            if self.workers > 1 and len(pending) > 1:
+                computed = self._run_pool([job for job, _ in pending])
+            else:
+                computed = {job.key: execute_job(job) for job, _ in pending}
+            for job, cache_key in pending:
+                metrics = computed[job.key]
+                results[job.key] = metrics
+                self.stats.executed += 1
+                if self.use_cache and cache_key is not None:
+                    self.cache.store(cache_key, metrics, payload=cache_payload(job))
+
+        ordered = {job.key: results[job.key] for job in jobs}
+        self.history.extend((job, ordered[job.key]) for job in jobs)
+        return ordered
+
+    def _run_pool(self, jobs: Sequence[SimulationJob]) -> Dict[str, SimulationMetrics]:
+        max_workers = min(self.workers, len(jobs))
+        computed: Dict[str, SimulationMetrics] = {}
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = {pool.submit(execute_job, job): job for job in jobs}
+            for future in as_completed(futures):
+                computed[futures[future].key] = future.result()
+        return computed
+
+    # ------------------------------------------------------------------
+    def grid_rows(self) -> List[Dict[str, object]]:
+        """Flat descriptor + headline-metric rows for everything run."""
+        return [
+            {**job.describe(), **flatten_metrics(metrics)}
+            for job, metrics in self.history
+        ]
+
+
+# ----------------------------------------------------------------------
+# Spec and grid builders
+# ----------------------------------------------------------------------
+def baseline_specs() -> List[SchedulerSpec]:
+    """The four baseline schedulers of the Table 5 comparison."""
+    return [
+        SchedulerSpec(kind="yarn-cs"),
+        SchedulerSpec(kind="chronus"),
+        SchedulerSpec(kind="lyra"),
+        SchedulerSpec(kind="fgd"),
+    ]
+
+
+def gfs_spec(label: str = "", **config_overrides) -> SchedulerSpec:
+    """The full GFS scheduler, optionally with :class:`GFSConfig` overrides."""
+    return SchedulerSpec(kind="gfs", label=label, gfs_config=as_pairs(config_overrides))
+
+
+def gfs_variant_spec(variant: str, **config_overrides) -> SchedulerSpec:
+    """A GFS ablation variant (``gfs-e``/``gfs-d``/``gfs-s``/``gfs-p``/``gfs-sp``)."""
+    return SchedulerSpec(kind=variant.lower(), gfs_config=as_pairs(config_overrides))
+
+
+def comparison_specs(include_gfs: bool = True) -> List[SchedulerSpec]:
+    """Baselines plus (by default) GFS — the Table 5 line-up."""
+    specs = baseline_specs()
+    if include_gfs:
+        specs.append(gfs_spec())
+    return specs
+
+
+def sweep_jobs(
+    scale: ExperimentScale,
+    scheduler_specs: Sequence[SchedulerSpec],
+    workload_specs: Sequence[WorkloadSpec],
+    prefix: str = "sweep",
+) -> List[SimulationJob]:
+    """The full cross product of schedulers and workloads as a job list."""
+    jobs: List[SimulationJob] = []
+    for workload in workload_specs:
+        for spec in scheduler_specs:
+            suffix = f"+s{workload.seed_offset}" if workload.seed_offset else ""
+            key = f"{prefix}/{workload.display}{suffix}/{spec.display}"
+            jobs.append(
+                SimulationJob(key=key, scale=scale, scheduler=spec, workload=workload)
+            )
+    return jobs

@@ -1,4 +1,15 @@
-"""Shared helpers for running scheduler-vs-workload simulation experiments."""
+"""In-process helpers for running scheduler-vs-workload simulation experiments.
+
+This is the factory-callable path: build a scheduler from an arbitrary
+Python callable and run it over a freshly generated trace, all in the
+current process.  It remains the friendliest API for notebooks, tests and
+custom schedulers that are not expressible as picklable specs.  The paper
+table runners and the CLI instead go through
+:mod:`repro.experiments.engine`, which represents the same grid cells as
+declarative job specs so they can fan out across worker processes and be
+memoised in the on-disk artifact cache; ``execute_job`` there produces
+metrics identical to :func:`run_one` for equivalent parameters.
+"""
 
 from __future__ import annotations
 

@@ -6,9 +6,9 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence
 
 from ..analysis.reporting import format_table
-from ..core import GFSConfig
 from .config import ExperimentScale, MEDIUM_SCALE
-from .runner import ExperimentResult, gfs_factory, run_one
+from .engine import ExperimentEngine, WorkloadSpec, gfs_spec, sweep_jobs
+from .runner import ExperimentResult
 
 
 @dataclass
@@ -42,18 +42,23 @@ def run_table6(
     scale: Optional[ExperimentScale] = None,
     guarantee_hours: Sequence[float] = (1.0, 2.0, 4.0),
     spot_scale: float = 2.0,
+    engine: Optional[ExperimentEngine] = None,
 ) -> Table6Result:
     """Regenerate Table 6: sweep the guarantee duration H."""
     scale = scale or MEDIUM_SCALE
+    engine = engine or ExperimentEngine()
+    specs = [
+        gfs_spec(label=f"GFS(H={hours:g})", guarantee_hours=hours)
+        for hours in guarantee_hours
+    ]
+    workload = WorkloadSpec(spot_scale=spot_scale, label="medium")
+    metrics = engine.run(sweep_jobs(scale, specs, [workload], prefix="table6"))
     result = Table6Result()
-    for hours in guarantee_hours:
-        factory = gfs_factory(GFSConfig(guarantee_hours=hours))
-        result.per_horizon[hours] = run_one(
-            scale,
-            factory,
-            scheduler_name=f"GFS(H={hours:g})",
-            workload_name="medium",
-            spot_scale=spot_scale,
+    for hours, spec in zip(guarantee_hours, specs):
+        result.per_horizon[hours] = ExperimentResult(
+            scheduler=spec.display,
+            workload="medium",
+            metrics=metrics[f"table6/medium/{spec.display}"],
         )
     return result
 

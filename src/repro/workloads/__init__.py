@@ -19,6 +19,13 @@ from .organizations import (
     generate_org_demand_matrix,
 )
 from .scaling import SpotWorkloadLevel, SPOT_SCALE_FACTORS, all_levels, spot_scale
+from .scenarios import (
+    Scenario,
+    get_scenario,
+    iter_scenarios,
+    register_scenario,
+    scenario_names,
+)
 from .synthetic import (
     GPUSizeDistribution,
     HP_GANG_FRACTION,
@@ -47,6 +54,7 @@ __all__ = [
     "SPOT_GANG_FRACTION",
     "SPOT_GPU_DISTRIBUTION",
     "SPOT_SCALE_FACTORS",
+    "Scenario",
     "SpotWorkloadLevel",
     "SyntheticTraceGenerator",
     "Trace",
@@ -61,7 +69,11 @@ __all__ = [
     "generate_modern_2024_requests",
     "generate_org_demand_matrix",
     "generate_trace",
+    "get_scenario",
+    "iter_scenarios",
     "production_gpu_counts",
+    "register_scenario",
     "scaled_fleet",
+    "scenario_names",
     "spot_scale",
 ]

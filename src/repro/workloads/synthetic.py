@@ -110,6 +110,17 @@ class WorkloadConfig:
     checkpoint_interval: float = 3600.0
     #: number of pods for gang tasks is drawn uniformly from this range
     gang_pod_range: Tuple[int, int] = (2, 4)
+    #: gang-scheduling fraction overrides; ``None`` keeps the Table 3 values
+    hp_gang_fraction: Optional[float] = None
+    spot_gang_fraction: Optional[float] = None
+    #: arrival bursts: every ``arrival_burst_period`` hours, the arrival
+    #: intensity of ``arrival_burst_width`` consecutive hours is multiplied
+    #: by ``arrival_burst_multiplier`` (total submitted work is unchanged —
+    #: the profile is re-normalised, so bursts *concentrate* arrivals).
+    #: ``period = 0`` disables bursts (the default).
+    arrival_burst_period: int = 0
+    arrival_burst_width: int = 1
+    arrival_burst_multiplier: float = 1.0
     #: number of hours of per-organization demand history to attach
     history_hours: int = 14 * 24
     gpu_model: Optional[GPUModel] = GPUModel.A100
@@ -162,13 +173,18 @@ class SyntheticTraceGenerator:
 
     def _diurnal_profile(self, hours: int) -> np.ndarray:
         """Normalised arrival-intensity multiplier per hour (mean 1.0)."""
-        amplitude = self.config.diurnal_arrival_amplitude
+        cfg = self.config
+        amplitude = cfg.diurnal_arrival_amplitude
         profile = np.array(
             [
                 1.0 + amplitude * self.organizations[0].hourly_factor(h % HOURS_PER_DAY)
                 for h in range(hours)
             ]
         )
+        if cfg.arrival_burst_period > 0:
+            for hour in range(hours):
+                if hour % cfg.arrival_burst_period < cfg.arrival_burst_width:
+                    profile[hour] *= cfg.arrival_burst_multiplier
         return profile / profile.mean()
 
     # ------------------------------------------------------------------
@@ -282,11 +298,15 @@ class SyntheticTraceGenerator:
         org_demand = generate_org_demand_matrix(
             self.organizations, int(cfg.duration_hours) + 1, seed=cfg.seed + 17
         )
+        hp_gang = cfg.hp_gang_fraction if cfg.hp_gang_fraction is not None else HP_GANG_FRACTION
+        spot_gang = (
+            cfg.spot_gang_fraction if cfg.spot_gang_fraction is not None else SPOT_GANG_FRACTION
+        )
         hp_tasks = self._generate_stream(
             TaskType.HP,
             cfg.hp_target_utilization,
             HP_GPU_DISTRIBUTION,
-            HP_GANG_FRACTION,
+            hp_gang,
             cfg.hp_median_runtime,
             org_demand,
         )
@@ -294,7 +314,7 @@ class SyntheticTraceGenerator:
             TaskType.SPOT,
             cfg.spot_target_utilization * cfg.spot_scale,
             SPOT_GPU_DISTRIBUTION,
-            SPOT_GANG_FRACTION,
+            spot_gang,
             cfg.spot_median_runtime,
             org_demand,
         )

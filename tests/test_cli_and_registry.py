@@ -52,3 +52,51 @@ class TestCLI:
         monkeypatch.setitem(cli.EXPERIMENTS, "table5", fake)
         cli.main(["table5", "--scale", "medium"])
         assert captured["scale"] == "medium"
+
+    def test_nodes_hours_override_scale(self, monkeypatch, capsys):
+        captured = {}
+
+        def fake(scale: ExperimentScale) -> str:
+            captured["nodes"] = scale.num_nodes
+            captured["hours"] = scale.duration_hours
+            return "ok"
+
+        monkeypatch.setitem(cli.EXPERIMENTS, "table5", fake)
+        cli.main(["table5", "--nodes", "8", "--hours", "6"])
+        assert captured == {"nodes": 8, "hours": 6.0}
+
+    def test_scenarios_listing(self, capsys):
+        assert cli.main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in ("default", "burst", "diurnal", "hetero", "org_skew",
+                     "spot_heavy", "large_gang"):
+            assert name in out
+
+    def test_sweep_runs_scenario_with_workers(self, capsys, tmp_path):
+        # Real end-to-end sweep at a tiny scale: one scheduler, one scenario,
+        # two worker processes, with artifact export.
+        assert cli.main([
+            "sweep", "--scenario", "burst", "--nodes", "8", "--hours", "6",
+            "--workers", "2", "--schedulers", "YARN-CS",
+            "--out", str(tmp_path / "artifacts"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Scenario: burst" in out and "YARN-CS" in out
+        assert (tmp_path / "artifacts" / "grid.json").exists()
+        assert (tmp_path / "artifacts" / "grid.csv").exists()
+        assert (tmp_path / "artifacts" / "sweep.txt").exists()
+
+    def test_sweep_unknown_scheduler_filter_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.main(["sweep", "--nodes", "8", "--hours", "6",
+                      "--schedulers", "NotAScheduler"])
+
+    def test_cli_cache_dir_makes_second_run_incremental(self, capsys, tmp_path):
+        argv = ["table9", "--nodes", "8", "--hours", "6",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert cli.main(argv) == 0
+        first = capsys.readouterr().out
+        assert "2 simulated, 0 from cache" in first
+        assert cli.main(argv) == 0
+        second = capsys.readouterr().out
+        assert "0 simulated, 2 from cache" in second

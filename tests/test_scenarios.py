@@ -1,0 +1,152 @@
+"""Tests for the workload scenario library and registry."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import GPUModel
+from repro.workloads import (
+    Scenario,
+    Trace,
+    generate_trace,
+    get_scenario,
+    iter_scenarios,
+    register_scenario,
+    scenario_names,
+)
+
+#: Tiny generation parameters shared by the per-scenario validity checks.
+GPUS, HOURS, SEED = 96.0, 8.0, 5
+
+
+def build(name: str, spot_scale: float = 2.0) -> Trace:
+    return get_scenario(name).build_trace(
+        cluster_gpus=GPUS, duration_hours=HOURS, spot_scale=spot_scale, seed=SEED
+    )
+
+
+class TestRegistry:
+    def test_builtin_catalog_present(self):
+        names = scenario_names()
+        assert {"default", "burst", "diurnal", "hetero", "org_skew",
+                "spot_heavy", "large_gang"} <= set(names)
+        assert len(names) >= 6
+
+    def test_lookup_normalises_name(self):
+        assert get_scenario("ORG-SKEW").name == "org_skew"
+
+    def test_unknown_scenario_raises_with_catalog(self):
+        with pytest.raises(KeyError, match="default"):
+            get_scenario("does-not-exist")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_scenario(Scenario(name="default", summary="dup"))
+
+    def test_custom_registration_roundtrip(self):
+        scenario = Scenario(name="test_tmp_scenario", summary="unit-test only")
+        register_scenario(scenario, replace_existing=True)
+        assert get_scenario("test_tmp_scenario") is scenario
+        assert scenario in list(iter_scenarios())
+
+
+class TestEveryScenarioGeneratesValidTraces:
+    @pytest.mark.parametrize("name", sorted(
+        {"default", "burst", "diurnal", "hetero", "org_skew", "spot_heavy", "large_gang"}
+    ))
+    def test_valid_trace(self, name):
+        trace = build(name)
+        assert len(trace) > 0
+        stats = trace.statistics()
+        assert stats.num_hp > 0 and stats.num_spot > 0
+        submits = [t.submit_time for t in trace.sorted_tasks()]
+        assert submits == sorted(submits)
+        assert all(0.0 <= s <= HOURS * 3600.0 for s in submits)
+        assert all(t.duration > 0 for t in trace.tasks)
+        assert trace.org_history and all(
+            len(series) >= 24 for series in trace.org_history.values()
+        )
+        assert trace.metadata["scenario"] == name
+
+    @pytest.mark.parametrize("name", ["default", "burst", "large_gang"])
+    def test_deterministic_in_seed(self, name):
+        a, b = build(name), build(name)
+        assert [t.submit_time for t in a.tasks] == [t.submit_time for t in b.tasks]
+        assert [t.gpus_per_pod for t in a.tasks] == [t.gpus_per_pod for t in b.tasks]
+
+
+class TestScenarioShapes:
+    def test_default_matches_plain_generator(self):
+        base = generate_trace(cluster_gpus=GPUS, duration_hours=HOURS, spot_scale=2.0, seed=SEED)
+        scen = build("default")
+        key = lambda t: (t.submit_time, t.duration, t.num_pods, t.gpus_per_pod, t.org)
+        assert [key(t) for t in base.tasks] == [key(t) for t in scen.tasks]
+
+    def test_burst_concentrates_arrivals(self):
+        scenario = get_scenario("burst")
+        config = scenario.build_config(512.0, 24.0, spot_scale=2.0, seed=SEED)
+        assert config.arrival_burst_period == 6
+        trace = scenario.build_trace(512.0, 24.0, spot_scale=2.0, seed=SEED)
+        counts = np.zeros(24)
+        for task in trace.tasks:
+            counts[int(task.submit_time // 3600.0) % 24] += 1
+        burst_hours = counts[::6]
+        other_hours = np.delete(counts, range(0, 24, 6))
+        assert burst_hours.mean() > 2.0 * other_hours.mean()
+
+    def test_diurnal_orgs_peak_apart(self):
+        orgs = get_scenario("diurnal").org_builder(SEED)
+        centres = sorted((sum(o.peak_hours) / 2.0) % 24 for o in orgs)
+        assert len(set(centres)) == len(centres)
+        assert max(centres) - min(centres) >= 12.0
+
+    def test_hetero_cluster_and_model_agnostic_tasks(self):
+        scenario = get_scenario("hetero")
+        cluster = scenario.build_cluster(num_nodes=8)
+        models = {node.gpu_model for node in cluster.nodes}
+        assert len(models) >= 3
+        assert len(cluster.nodes) == 8
+        trace = build("hetero")
+        assert all(t.gpu_model is None for t in trace.tasks)
+
+    def test_homogeneous_cluster_for_plain_scenarios(self):
+        cluster = get_scenario("default").build_cluster(4, 8, GPUModel.A100)
+        assert {n.gpu_model for n in cluster.nodes} == {GPUModel.A100}
+
+    @pytest.mark.parametrize("num_nodes", [1, 2, 3, 4, 8, 17])
+    def test_hetero_cluster_respects_node_budget(self, num_nodes):
+        # Small budgets must never over-build or drop the dominant model:
+        # exactly num_nodes nodes, models filled in mix order.
+        scenario = get_scenario("hetero")
+        cluster = scenario.build_cluster(num_nodes=num_nodes)
+        assert len(cluster.nodes) == num_nodes
+        models = {n.gpu_model for n in cluster.nodes}
+        assert GPUModel.A100 in models  # first (dominant) entry of the mix
+        if num_nodes >= len(scenario.fleet_mix):
+            assert len(models) == len(scenario.fleet_mix)
+
+    def test_org_skew_concentrates_demand(self):
+        trace = build("org_skew")
+        counts = {}
+        for task in trace.hp_tasks:
+            counts[task.org] = counts.get(task.org, 0) + 1
+        top = max(counts.values())
+        assert top / sum(counts.values()) > 0.5
+
+    def test_spot_heavy_is_spot_dominated(self):
+        stats = build("spot_heavy", spot_scale=1.0).statistics()
+        default_stats = build("default", spot_scale=1.0).statistics()
+        assert stats.num_spot > stats.num_hp
+        assert stats.num_spot > default_stats.num_spot
+
+    def test_large_gang_raises_gang_fractions(self):
+        # Larger trace than the shared tiny one: gang fractions are sampled,
+        # so comparisons need a few hundred tasks to be stable.
+        big = lambda name: get_scenario(name).build_trace(
+            cluster_gpus=1024.0, duration_hours=24.0, spot_scale=2.0, seed=SEED
+        )
+        stats = big("large_gang").statistics()
+        default_stats = big("default").statistics()
+        assert stats.hp_gang_fraction > default_stats.hp_gang_fraction
+        assert stats.spot_gang_fraction > default_stats.spot_gang_fraction
+        gangs = [t for t in big("large_gang").tasks if t.gang]
+        assert gangs and all(4 <= t.num_pods <= 8 for t in gangs)
