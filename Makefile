@@ -5,12 +5,15 @@ PYTHON      ?= python
 PYTHONPATH  := src
 export PYTHONPATH
 
-.PHONY: test bench bench-scaling lint verify sweep all
+.PHONY: test bench bench-scaling lint verify sweep trace-smoke all
 
 # Knobs for `make sweep` (scenario library + parallel experiment engine).
 SCENARIO ?= burst
 WORKERS  ?= 4
 SCALE    ?= small
+
+# Workdir for `make trace-smoke` (trace ingestion end-to-end check).
+TRACE_DIR ?= .trace-smoke
 
 ## Tier-1 verify: the full unit suite + every benchmark at reduced scale.
 verify:
@@ -33,6 +36,18 @@ bench-scaling:
 sweep:
 	$(PYTHON) -m repro.experiments.cli sweep --scenario $(SCENARIO) \
 		--scale $(SCALE) --workers $(WORKERS) --cache-dir .repro-cache
+
+## Trace-ingest smoke: convert a fixture trace, validate it, inspect it,
+## then run one simulation cell on it through the engine (cached).
+trace-smoke:
+	$(PYTHON) -m repro.experiments.cli trace convert \
+		tests/fixtures/philly_small.csv $(TRACE_DIR)/philly.json.gz \
+		--fleet-model A100
+	$(PYTHON) -m repro.experiments.cli trace validate $(TRACE_DIR)/philly.json.gz
+	$(PYTHON) -m repro.experiments.cli trace stats $(TRACE_DIR)/philly.json.gz
+	$(PYTHON) -m repro.experiments.cli sweep \
+		--scenario trace:$(TRACE_DIR)/philly.json.gz \
+		--schedulers GFS --workers 1 --cache-dir $(TRACE_DIR)/cache
 
 ## Lint: ruff when available, otherwise a byte-compile syntax sweep.
 lint:

@@ -7,7 +7,9 @@ Usage::
     python -m repro.experiments.cli fig10 fig9 observations
     python -m repro.experiments.cli all --scale medium --workers 8
     python -m repro.experiments.cli sweep --scenario burst --workers 8
+    python -m repro.experiments.cli sweep --scenario trace:philly.json.gz
     python -m repro.experiments.cli scenarios
+    python -m repro.experiments.cli trace convert philly.csv philly.json.gz
 
 Each experiment prints the same rows as the corresponding table/figure of
 the paper (the README's "Paper tables and figures" section maps each artifact
@@ -17,7 +19,10 @@ catalog.  ``--workers N`` fans the scheduler x workload grid out across N
 worker processes (results are bit-identical at any worker count), and
 ``--cache-dir`` memoises finished cells on disk so re-runs are incremental.
 ``--out DIR`` exports reports plus a JSON/CSV grid of every simulated cell.
-See ``docs/experiments.md`` for the full cookbook.
+The ``trace`` group (``trace convert``/``validate``/``stats``) ingests
+external cluster traces; converted traces replay through any grid
+experiment via ``trace:<path>`` scenario refs.  See ``docs/experiments.md``
+for the full cookbook and ``docs/traces.md`` for trace ingestion.
 """
 
 from __future__ import annotations
@@ -164,6 +169,13 @@ def _export_artifacts(out_dir: Path, reports: Dict[str, str], engine: Experiment
 
 
 def main(argv: List[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "trace":
+        # The trace ingestion group has its own option surface; hand it
+        # off before the experiment parser rejects its flags.
+        from .trace_cli import main as trace_main
+
+        return trace_main(argv[1:])
     parser = argparse.ArgumentParser(
         description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
     )

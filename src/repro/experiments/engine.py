@@ -166,21 +166,17 @@ def cache_payload(job: SimulationJob) -> Dict[str, object]:
 
     Deliberately excludes the grid key and display labels (so e.g. the
     GFS/medium cell of Table 8 and Table 9 share one cache entry) and
-    deliberately *includes* the resolved scenario parameterization —
-    overrides, fleet mix and the organization mix materialised for this
-    job's seed — so editing or re-registering a scenario invalidates its
-    cached results instead of serving stale metrics.
+    deliberately *includes* the resolved scenario's ``cache_descriptor``
+    — for synthetic scenarios the overrides, fleet mix and the
+    organization mix materialised for this job's seed; for ``trace:``
+    scenarios the SHA-256 of the trace file — so editing a scenario *or*
+    a trace file invalidates its cached results instead of serving stale
+    metrics.
     """
     scale = job.scale
     scenario = job.resolved_scenario()
     seed = scale.seed + job.workload.seed_offset
-    descriptor: Dict[str, object] = {
-        "name": scenario.name,
-        "overrides": dict(scenario.overrides),
-        "fleet_mix": scenario.fleet_mix,
-    }
-    if scenario.org_builder is not None:
-        descriptor["organizations"] = scenario.org_builder(seed)
+    descriptor = scenario.cache_descriptor(seed)
     return {
         "scale": {
             "num_nodes": scale.num_nodes,

@@ -1,0 +1,260 @@
+"""``trace`` CLI group: convert, validate and inspect external traces.
+
+Usage::
+
+    python -m repro.experiments.cli trace convert philly.csv philly.json.gz \
+        --window 0:24 --arrival-scale 2.0 --top-orgs 6 --fleet-model A100
+    python -m repro.experiments.cli trace validate philly.json.gz
+    python -m repro.experiments.cli trace stats philly.json.gz
+
+``convert`` streams an external log (Philly CSV, PAI job table, or the
+generic CSV/JSONL schema) through the ingest pipeline and writes a
+replayable trace; ``validate`` checks a raw or converted trace against
+the schema and replay invariants; ``stats`` prints provenance metadata
+plus calibration statistics.  Converted traces plug into every grid
+experiment through ``trace:<path>`` scenario refs — see ``docs/traces.md``
+for the cookbook.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from ..cluster import GPUModel
+from ..workloads import Trace
+from ..workloads.ingest import (
+    ADAPTERS,
+    ArrivalScale,
+    Downsample,
+    DurationClamp,
+    OrgConsolidate,
+    TimeWindow,
+    TransformOp,
+    detect_format,
+    get_adapter,
+    ingest_trace,
+    known_gpu_model_names,
+    rebase_and_sort,
+    validate_records,
+    validate_trace,
+)
+
+
+def _parse_window(spec: str) -> Tuple[float, Optional[float]]:
+    """Parse ``START:END`` hours; an empty END keeps the rest of the trace."""
+    try:
+        start_text, _, end_text = spec.partition(":")
+        start = float(start_text) if start_text else 0.0
+        end = float(end_text) if end_text else None
+    except ValueError as exc:
+        raise SystemExit(f"--window expects START:END hours, got {spec!r}") from exc
+    if end is not None and end <= start:
+        raise SystemExit(f"--window end must exceed start, got {spec!r}")
+    return start, end
+
+
+def _parse_fleet(spec: str) -> List[GPUModel]:
+    models = []
+    for name in spec.split(","):
+        name = name.strip().upper()
+        if not name:
+            continue
+        try:
+            models.append(GPUModel(name))
+        except ValueError as exc:
+            raise SystemExit(
+                f"unknown fleet model {name!r}; expected one of {[m.value for m in GPUModel]}"
+            ) from exc
+    if not models:
+        raise SystemExit("--fleet-model expects at least one GPU model")
+    return models
+
+
+def _parse_model_map(entries: List[str]) -> dict:
+    mapping = {}
+    for entry in entries:
+        source, sep, target = entry.partition("=")
+        if not sep or not source:
+            raise SystemExit(f"--map expects SRC=DST (DST may be 'none'), got {entry!r}")
+        target = target.strip()
+        if target.lower() in ("none", ""):
+            mapping[source.strip()] = None
+            continue
+        # A typo'd destination would silently make every mapped task
+        # model-agnostic; fail fast instead.
+        try:
+            GPUModel(target.upper())
+        except ValueError as exc:
+            raise SystemExit(
+                f"--map destination {target!r} is not a fleet GPU model "
+                f"(expected one of {[m.value for m in GPUModel]} or 'none')"
+            ) from exc
+        mapping[source.strip()] = target
+    return mapping
+
+
+def build_transforms(args) -> List[TransformOp]:
+    """Assemble the transform pipeline from CLI flags, in canonical order:
+    window -> arrival scale -> duration clamp -> org consolidation ->
+    downsampling (so e.g. sampling happens on the already-windowed set)."""
+    ops: List[TransformOp] = []
+    if args.window:
+        start, end = _parse_window(args.window)
+        ops.append(TimeWindow(start_hours=start, end_hours=end))
+    if args.arrival_scale != 1.0:
+        ops.append(ArrivalScale(factor=args.arrival_scale))
+    if args.min_duration is not None or args.max_duration is not None:
+        ops.append(DurationClamp(min_seconds=args.min_duration, max_seconds=args.max_duration))
+    if args.top_orgs is not None:
+        ops.append(OrgConsolidate(top_k=args.top_orgs, other_name=args.other_name))
+    if args.sample < 1.0:
+        ops.append(Downsample(fraction=args.sample, seed=args.sample_seed))
+    return ops
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def cmd_convert(args) -> int:
+    src, dst = Path(args.src), Path(args.dst)
+    if not (dst.name.lower().endswith(".json") or dst.name.lower().endswith(".json.gz")):
+        raise SystemExit(
+            f"output path must end in .json or .json.gz (replay routing keys on the "
+            f"suffix), got {dst.name!r}"
+        )
+    trace = ingest_trace(
+        src,
+        format=args.format,
+        transforms=build_transforms(args),
+        fleet_models=_parse_fleet(args.fleet_model) if args.fleet_model else None,
+        gpu_model_map=_parse_model_map(args.map) if args.map else None,
+        history_hours=args.history_hours,
+        history_seed=args.history_seed,
+        cluster_gpus=args.cluster_gpus,
+        validate=not args.no_validate,
+    )
+    dst.parent.mkdir(parents=True, exist_ok=True)
+    trace.save(dst)
+    meta = trace.metadata
+    stats = trace.statistics()
+    print(f"converted {src} ({meta['source_format']}) -> {dst}")
+    print(
+        f"  tasks: {len(trace)} ({meta['num_hp']} HP, {meta['num_spot']} spot), "
+        f"{meta['skipped_rows']} source row(s) skipped"
+    )
+    print(
+        f"  horizon: {meta['duration_hours']:.1f}h, duration p50/p99: "
+        f"{stats.duration_p50:.0f}s/{stats.duration_p99:.0f}s"
+    )
+    print(f"  orgs with demand history: {len(trace.org_history)} ({meta['history_hours']}h each)")
+    print(f"  source sha256: {meta['source_sha256'][:16]}…")
+    if meta["validation_warnings"]:
+        print(f"  {meta['validation_warnings']} validation warning(s); run `trace validate` to list")
+    print(f"  replay with: python -m repro.experiments.cli sweep --scenario trace:{dst}")
+    return 0
+
+
+def _is_converted(path: Path) -> bool:
+    name = path.name.lower()
+    return name.endswith(".json") or name.endswith(".json.gz")
+
+
+def cmd_validate(args) -> int:
+    path = Path(args.path)
+    if _is_converted(path):
+        report = validate_trace(Trace.load(path))
+        kind = "converted trace"
+    else:
+        adapter = get_adapter(args.format or detect_format(path))
+        records = rebase_and_sort(adapter.read_records(path))
+        report = validate_records(records, known_gpu_models=known_gpu_model_names())
+        kind = f"raw {adapter.format_name} trace"
+        if adapter.skipped:
+            report.warn(f"{adapter.skipped} source row(s) skipped: {adapter.skip_reasons}")
+    print(f"{path} ({kind}): {report.summary()}")
+    for message in report.errors:
+        print(f"  ERROR: {message}")
+    for message in report.warnings:
+        print(f"  warning: {message}")
+    hidden = report.error_count - len(report.errors)
+    if hidden > 0:
+        print(f"  ... and {hidden} more error(s)")
+    return 0 if report.ok else 1
+
+
+def cmd_stats(args) -> int:
+    from ..workloads.ingest import load_trace_file
+
+    path = Path(args.path)
+    trace = load_trace_file(path)
+    stats = trace.statistics()
+    print(f"{path}: {len(trace)} task(s), horizon {trace.horizon / 3600.0:.1f}h")
+    print("  metadata:")
+    for key in sorted(trace.metadata):
+        print(f"    {key}: {trace.metadata[key]}")
+    print("  statistics:")
+    for key, value in stats.as_dict().items():
+        print(f"    {key}: {value}")
+    orgs = sorted({t.org for t in trace.tasks})
+    print(f"  organizations ({len(orgs)}): {', '.join(orgs[:10])}" + (" …" if len(orgs) > 10 else ""))
+    return 0
+
+
+# ----------------------------------------------------------------------
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.cli trace",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    convert = sub.add_parser("convert", help="ingest an external trace into a replayable file")
+    convert.add_argument("src", help="source trace (Philly/PAI CSV, generic CSV/JSONL)")
+    convert.add_argument("dst", help="output path (.json or .json.gz)")
+    convert.add_argument("--format", choices=sorted(ADAPTERS), default=None,
+                         help="source format (default: sniff from suffix/header)")
+    convert.add_argument("--window", default=None, metavar="START:END",
+                         help="keep submissions inside this hour window, rebased to t=0")
+    convert.add_argument("--arrival-scale", type=float, default=1.0, metavar="F",
+                         help="arrival-rate multiplier (2.0 = twice the pressure)")
+    convert.add_argument("--min-duration", type=float, default=None, metavar="SECONDS")
+    convert.add_argument("--max-duration", type=float, default=None, metavar="SECONDS")
+    convert.add_argument("--top-orgs", type=int, default=None, metavar="K",
+                         help="keep the K largest orgs by GPU-time, fold the rest")
+    convert.add_argument("--other-name", default="other",
+                         help="org name the folded tail is consolidated under")
+    convert.add_argument("--sample", type=float, default=1.0, metavar="FRAC",
+                         help="seeded downsampling fraction in (0, 1]")
+    convert.add_argument("--sample-seed", type=int, default=0)
+    convert.add_argument("--fleet-model", default=None, metavar="MODELS",
+                         help="comma-separated fleet GPU models to remap onto (e.g. A100)")
+    convert.add_argument("--map", action="append", default=[], metavar="SRC=DST",
+                         help="extra GPU model remapping (repeatable; DST 'none' = agnostic)")
+    convert.add_argument("--history-hours", type=int, default=14 * 24,
+                         help="length of the reconstructed per-org demand history")
+    convert.add_argument("--history-seed", type=int, default=0)
+    convert.add_argument("--cluster-gpus", type=float, default=None,
+                         help="clip the reconstructed fluid demand at this capacity")
+    convert.add_argument("--no-validate", action="store_true",
+                         help="skip schema validation (still printed by `trace validate`)")
+    convert.set_defaults(func=cmd_convert)
+
+    validate = sub.add_parser("validate", help="validate a raw or converted trace")
+    validate.add_argument("path")
+    validate.add_argument("--format", choices=sorted(ADAPTERS), default=None)
+    validate.set_defaults(func=cmd_validate)
+
+    stats = sub.add_parser("stats", help="print metadata and calibration statistics")
+    stats.add_argument("path")
+    stats.set_defaults(func=cmd_stats)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,100 @@
+"""Trace ingestion & replay: external cluster logs as first-class workloads.
+
+The subsystem turns real cluster traces — Philly-style CSVs, Alibaba/
+PAI-style job tables, or the documented generic CSV/JSONL schema — into
+replayable :class:`~repro.workloads.Trace` objects that plug into the
+scenario registry (``trace:<path>`` refs), the parallel experiment
+engine, and the content-keyed artifact cache.  See ``docs/traces.md``
+for formats, the transform pipeline and the CLI cookbook.
+
+Layers::
+
+    adapters.py    format adapters -> normalized TraceRecord streams
+    schema.py      the generic record schema + validation
+    transforms.py  deterministic composable record transforms
+    history.py     per-org demand-history reconstruction (GDE training)
+    builder.py     ingest_trace(): records -> Task objects -> Trace
+    scenario.py    TraceScenario: trace files in the scenario registry
+"""
+
+from .adapters import (
+    ADAPTERS,
+    GenericCSVAdapter,
+    GenericJSONLAdapter,
+    PAIJobTableAdapter,
+    PhillyCSVAdapter,
+    TraceAdapter,
+    detect_format,
+    get_adapter,
+    parse_timestamp,
+)
+from .builder import (
+    DEFAULT_GPU_MODEL_MAP,
+    file_sha256,
+    ingest_trace,
+    known_gpu_model_names,
+    load_trace_file,
+    rebase_and_sort,
+    records_to_tasks,
+    remap_gpu_model,
+)
+from .history import DEFAULT_HISTORY_HOURS, fluid_org_usage, reconstruct_org_history
+from .scenario import TRACE_SCENARIO_PREFIX, TraceScenario, trace_scenario
+from .schema import (
+    GENERIC_FIELDS,
+    TraceRecord,
+    ValidationReport,
+    record_from_mapping,
+    validate_records,
+    validate_trace,
+)
+from .transforms import (
+    ArrivalScale,
+    Downsample,
+    DurationClamp,
+    OrgConsolidate,
+    TimeWindow,
+    TransformOp,
+    TransformPipeline,
+    make_pipeline,
+)
+
+__all__ = [
+    "ADAPTERS",
+    "ArrivalScale",
+    "DEFAULT_GPU_MODEL_MAP",
+    "DEFAULT_HISTORY_HOURS",
+    "Downsample",
+    "DurationClamp",
+    "GENERIC_FIELDS",
+    "GenericCSVAdapter",
+    "GenericJSONLAdapter",
+    "OrgConsolidate",
+    "PAIJobTableAdapter",
+    "PhillyCSVAdapter",
+    "TRACE_SCENARIO_PREFIX",
+    "TimeWindow",
+    "TraceAdapter",
+    "TraceRecord",
+    "TraceScenario",
+    "TransformOp",
+    "TransformPipeline",
+    "ValidationReport",
+    "detect_format",
+    "file_sha256",
+    "fluid_org_usage",
+    "get_adapter",
+    "ingest_trace",
+    "known_gpu_model_names",
+    "load_trace_file",
+    "make_pipeline",
+    "parse_timestamp",
+    "rebase_and_sort",
+    "record_from_mapping",
+    "records_to_tasks",
+    "reconstruct_org_history",
+    "remap_gpu_model",
+    "trace_scenario",
+    "validate_records",
+    "validate_trace",
+]

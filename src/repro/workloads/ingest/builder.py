@@ -1,0 +1,263 @@
+"""Turn an external trace file into a first-class, replayable ``Trace``.
+
+The conversion path (``repro trace convert`` and programmatic
+:func:`ingest_trace`):
+
+1. stream the source through a format adapter into normalized records,
+2. rebase submission times so the earliest arrival is ``t = 0`` and sort
+   stably by ``(submit_time, job_id)``,
+3. apply the deterministic transform pipeline,
+4. remap GPU model names onto the configured fleet,
+5. materialise :class:`~repro.cluster.Task` objects with unique ids,
+6. reconstruct the per-organization hourly demand history the GDE
+   forecaster trains on,
+7. stamp provenance metadata — source path, format, the SHA-256 of the
+   source bytes, and the transform chain — so converted traces are
+   auditable and engine cache keys can follow trace *content*.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ...cluster import GPUModel, Task, TaskType
+from ..trace import Trace
+from .adapters import detect_format, get_adapter
+from .history import DEFAULT_HISTORY_HOURS, reconstruct_org_history
+from .schema import TraceRecord, validate_records
+from .transforms import TransformOp, make_pipeline
+
+#: Canonical remappings for GPU model names common in public traces but
+#: absent from the simulated fleet (Table 1 models only).  ``None`` means
+#: "model-agnostic": the task can land on any node.
+DEFAULT_GPU_MODEL_MAP: Dict[str, Optional[str]] = {
+    "V100": "A100",
+    "V100M32": "A100",
+    "A100-80G": "A100",
+    "H100": "H800",
+    "P100": "A800",
+    "T4": "A10",
+    "K80": "A10",
+    "MISC": None,
+    "CPU": None,
+}
+
+_KNOWN_MODELS = {m.value.upper(): m for m in GPUModel}
+
+
+def known_gpu_model_names() -> List[str]:
+    """Model names the remapper understands without a custom map."""
+    return sorted(_KNOWN_MODELS) + sorted(DEFAULT_GPU_MODEL_MAP)
+
+
+def remap_gpu_model(
+    name: Optional[str],
+    fleet_models: Optional[Sequence[GPUModel]] = None,
+    extra_map: Optional[Mapping[str, Optional[str]]] = None,
+) -> Optional[GPUModel]:
+    """Map a source GPU model name onto the configured fleet.
+
+    Resolution order: caller's ``extra_map``, the built-in
+    :data:`DEFAULT_GPU_MODEL_MAP`, then the fleet's own model names.
+    Unknown names become ``None`` (model-agnostic), and a resolved model
+    absent from ``fleet_models`` falls back to the fleet's first model so
+    every ingested task is schedulable on the target cluster.
+    """
+    if name is None:
+        return None
+    key = str(name).strip().upper()
+    if not key:
+        return None
+    if extra_map:
+        upper_map = {str(k).upper(): v for k, v in extra_map.items()}
+        if key in upper_map:
+            mapped = upper_map[key]
+            key = str(mapped).upper() if mapped is not None else ""
+    if key in DEFAULT_GPU_MODEL_MAP and key not in _KNOWN_MODELS:
+        mapped = DEFAULT_GPU_MODEL_MAP[key]
+        key = str(mapped).upper() if mapped is not None else ""
+    model = _KNOWN_MODELS.get(key)
+    if model is None:
+        return None
+    if fleet_models and model not in tuple(fleet_models):
+        return tuple(fleet_models)[0]
+    return model
+
+
+# ----------------------------------------------------------------------
+# Content hashing (engine cache keys follow trace bytes)
+# ----------------------------------------------------------------------
+_SHA_CACHE: Dict[Tuple[str, int, int], str] = {}
+
+
+def file_sha256(path: str | Path, chunk_size: int = 1 << 20) -> str:
+    """SHA-256 of a file's bytes, memoised by ``(path, size, mtime)``.
+
+    The memo makes per-job cache keying cheap inside the experiment
+    engine while still reacting to edits: rewriting the trace file
+    changes its mtime/size and forces a re-hash.
+    """
+    path = Path(path)
+    stat = path.stat()
+    memo_key = (str(path.resolve()), stat.st_size, stat.st_mtime_ns)
+    cached = _SHA_CACHE.get(memo_key)
+    if cached is not None:
+        return cached
+    digest = hashlib.sha256()
+    with path.open("rb") as handle:
+        while chunk := handle.read(chunk_size):
+            digest.update(chunk)
+    value = digest.hexdigest()
+    _SHA_CACHE[memo_key] = value
+    return value
+
+
+# ----------------------------------------------------------------------
+# Record -> Task materialisation
+# ----------------------------------------------------------------------
+def rebase_and_sort(records: Sequence[TraceRecord]) -> List[TraceRecord]:
+    """Shift submissions so the earliest lands at ``t = 0``; stable sort.
+
+    Sorting key is ``(submit_time, job_id)`` — the same tie-break replay
+    uses — so downstream seeded transforms see a canonical order
+    regardless of row order in the source file.
+    """
+    if not records:
+        return []
+    base = min(r.submit_time for r in records)
+    rebased = [
+        dataclasses.replace(r, submit_time=r.submit_time - base) if base != 0 else r
+        for r in records
+    ]
+    return sorted(rebased, key=lambda r: (r.submit_time, r.job_id))
+
+
+def records_to_tasks(
+    records: Sequence[TraceRecord],
+    fleet_models: Optional[Sequence[GPUModel]] = None,
+    gpu_model_map: Optional[Mapping[str, Optional[str]]] = None,
+) -> List[Task]:
+    """Materialise simulator tasks, deduplicating ids deterministically."""
+    tasks: List[Task] = []
+    seen: Dict[str, int] = {}
+    for i, record in enumerate(records):
+        task_type = TaskType.HP if record.task_type == "hp" else TaskType.SPOT
+        base_id = record.job_id or f"{record.task_type}-ingest-{i:06d}"
+        count = seen.get(base_id, 0)
+        seen[base_id] = count + 1
+        task_id = base_id if count == 0 else f"{base_id}#{count}"
+        tasks.append(
+            Task(
+                task_id=task_id,
+                task_type=task_type,
+                num_pods=record.num_pods,
+                gpus_per_pod=record.gpus_per_pod,
+                duration=record.duration,
+                submit_time=record.submit_time,
+                org=record.org,
+                gpu_model=remap_gpu_model(record.gpu_model, fleet_models, gpu_model_map),
+                gang=record.is_gang,
+                checkpoint_interval=record.checkpoint_interval,
+            )
+        )
+    return tasks
+
+
+def ingest_trace(
+    path: str | Path,
+    format: Optional[str] = None,
+    transforms: Sequence[TransformOp] = (),
+    fleet_models: Optional[Sequence[GPUModel]] = None,
+    gpu_model_map: Optional[Mapping[str, Optional[str]]] = None,
+    history_hours: int = DEFAULT_HISTORY_HOURS,
+    history_seed: int = 0,
+    cluster_gpus: Optional[float] = None,
+    validate: bool = True,
+) -> Trace:
+    """Ingest an external trace file into a replayable :class:`Trace`.
+
+    ``format`` names a registered adapter (``philly``/``pai``/``csv``/
+    ``jsonl``); ``None`` sniffs it from the file.  ``transforms`` is an
+    ordered sequence of :class:`~.transforms.TransformOp`; ``fleet_models``
+    and ``gpu_model_map`` steer GPU remapping; ``history_hours`` and
+    ``history_seed`` control the reconstructed GDE demand history.  With
+    ``validate=True`` (default) structural schema violations raise before
+    a broken trace is materialised.
+
+    Example
+    -------
+    >>> trace = ingest_trace("philly.csv", transforms=[TimeWindow(0, 24)],
+    ...                      fleet_models=[GPUModel.A100])
+    >>> trace.save("philly.json.gz")
+    """
+    path = Path(path)
+    format_name = format or detect_format(path)
+    adapter = get_adapter(format_name)
+    records = rebase_and_sort(adapter.read_records(path))
+    pipeline = make_pipeline(transforms)
+    records = rebase_and_sort(pipeline.apply(records)) if len(pipeline) else records
+    report = validate_records(records, known_gpu_models=known_gpu_model_names())
+    if validate:
+        report.raise_if_invalid()
+    tasks = records_to_tasks(records, fleet_models, gpu_model_map)
+    org_history = reconstruct_org_history(
+        tasks, history_hours=history_hours, seed=history_seed, cluster_gpus=cluster_gpus
+    )
+    horizon = max((t.submit_time for t in tasks), default=0.0)
+    metadata: Dict[str, object] = {
+        "source": str(path),
+        "source_format": adapter.format_name,
+        "source_sha256": file_sha256(path),
+        "transforms": pipeline.describe()["ops"] if len(pipeline) else [],
+        "skipped_rows": adapter.skipped,
+        "skip_reasons": dict(sorted(adapter.skip_reasons.items())),
+        "num_hp": sum(1 for t in tasks if t.is_hp),
+        "num_spot": sum(1 for t in tasks if t.is_spot),
+        "duration_hours": horizon / 3600.0,
+        "history_hours": history_hours,
+        "history_seed": history_seed,
+        "validation_warnings": report.warning_count,
+        "ingest_version": 1,
+    }
+    if cluster_gpus is not None:
+        metadata["cluster_gpus"] = cluster_gpus
+    return Trace(tasks=tasks, org_history=org_history, metadata=metadata)
+
+
+#: Parsed-record memo for :func:`load_trace_file`, keyed like the sha
+#: memo.  Records are plain JSON data; tasks are rebuilt fresh per call.
+_RECORDS_CACHE: Dict[Tuple[str, int, int], Dict[str, object]] = {}
+_RECORDS_CACHE_MAX = 8
+
+
+def load_trace_file(path: str | Path) -> Trace:
+    """Load *any* trace file: converted JSON(.gz) or a raw external log.
+
+    ``.json``/``.json.gz`` files are treated as converted
+    :class:`Trace` serialisations; anything else goes through
+    :func:`ingest_trace` with format sniffing and default settings.  This
+    is what makes ``trace:<path>`` scenario refs work for both.
+
+    The parsed records are memoised per process, keyed on ``(path, size,
+    mtime)``, so a grid of N cells replaying one trace parses it once per
+    worker instead of N times — but every call still materialises *fresh*
+    ``Task`` objects, because the simulator mutates task state and two
+    grid cells must never share it.
+    """
+    path = Path(path)
+    stat = path.stat()
+    memo_key = (str(path.resolve()), stat.st_size, stat.st_mtime_ns)
+    records = _RECORDS_CACHE.get(memo_key)
+    if records is None:
+        name = path.name.lower()
+        if name.endswith(".json") or name.endswith(".json.gz"):
+            records = Trace.load(path).to_records()
+        else:
+            records = ingest_trace(path).to_records()
+        if len(_RECORDS_CACHE) >= _RECORDS_CACHE_MAX:
+            _RECORDS_CACHE.clear()
+        _RECORDS_CACHE[memo_key] = records
+    return Trace.from_records(records)

@@ -1,0 +1,248 @@
+"""The normalized trace-record schema and its validation.
+
+Every ingest adapter — whatever the source format — emits a stream of
+:class:`TraceRecord` objects: one normalized row per task submission.
+The record is the *documented* generic schema (``docs/traces.md``): a
+generic CSV or JSONL trace simply lists these fields verbatim, while the
+Philly- and PAI-style adapters derive them from their native columns.
+
+All times are seconds; ``submit_time`` may be absolute in the source file
+(epoch seconds or wall-clock timestamps) — the ingest builder rebases the
+stream so the earliest submission lands at ``t = 0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict, List, Optional, Sequence
+
+#: Task classes a record may declare (``zeta`` in the paper's task tuple).
+TASK_TYPES = ("hp", "spot")
+
+#: Fields a generic CSV/JSONL trace may carry.  Only ``submit_time`` and
+#: ``duration`` are required; everything else falls back to the defaults
+#: of :class:`TraceRecord`.
+GENERIC_FIELDS = (
+    "job_id",
+    "task_type",
+    "submit_time",
+    "duration",
+    "num_pods",
+    "gpus_per_pod",
+    "org",
+    "gpu_model",
+    "gang",
+    "checkpoint_interval",
+)
+
+REQUIRED_FIELDS = ("submit_time", "duration")
+
+
+@dataclass
+class TraceRecord:
+    """One normalized task submission from an external trace.
+
+    The intermediate currency of the ingest pipeline: adapters produce
+    records, transforms rewrite them, and the builder turns the surviving
+    records into :class:`~repro.cluster.Task` objects.
+
+    ``gang=None`` means "derive from shape" (multi-pod requests gang,
+    single-pod requests don't); an explicit ``True``/``False`` from the
+    source is preserved.
+    """
+
+    submit_time: float
+    duration: float
+    job_id: str = ""
+    task_type: str = "hp"
+    num_pods: int = 1
+    gpus_per_pod: float = 1.0
+    org: str = "default"
+    gpu_model: Optional[str] = None
+    gang: Optional[bool] = None
+    checkpoint_interval: float = 3600.0
+
+    @property
+    def is_gang(self) -> bool:
+        """The effective gang flag (derived from the shape when unset)."""
+        return self.num_pods > 1 if self.gang is None else bool(self.gang)
+
+    @property
+    def total_gpus(self) -> float:
+        return self.num_pods * self.gpus_per_pod
+
+
+_RECORD_FIELDS = {f.name for f in fields(TraceRecord)}
+
+
+def record_from_mapping(row: Dict[str, object]) -> TraceRecord:
+    """Build a record from a generic-schema mapping (CSV row / JSONL object).
+
+    Unknown keys are ignored so traces can carry extra columns; missing
+    optional keys take the schema defaults.  Raises ``KeyError`` when a
+    required field is absent and ``ValueError`` on unparseable values.
+    """
+    for name in REQUIRED_FIELDS:
+        if row.get(name) in (None, ""):
+            raise KeyError(f"required field {name!r} missing from row")
+    kwargs: Dict[str, object] = {}
+    for name, value in row.items():
+        if name not in _RECORD_FIELDS or value in (None, ""):
+            continue
+        if name in ("submit_time", "duration", "gpus_per_pod", "checkpoint_interval"):
+            kwargs[name] = float(value)
+        elif name == "num_pods":
+            kwargs[name] = int(float(value))
+        elif name == "gang":
+            kwargs[name] = parse_bool(value)
+        elif name == "task_type":
+            kwargs[name] = str(value).strip().lower()
+        else:
+            kwargs[name] = str(value)
+    return TraceRecord(**kwargs)
+
+
+def parse_bool(value: object) -> bool:
+    """Parse the bool spellings CSV files use (``true``/``1``/``yes``...)."""
+    if isinstance(value, bool):
+        return value
+    text = str(value).strip().lower()
+    if text in ("true", "1", "yes", "y", "t"):
+        return True
+    if text in ("false", "0", "no", "n", "f", ""):
+        return False
+    raise ValueError(f"cannot parse boolean from {value!r}")
+
+
+# ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+#: At most this many individual issues are kept per severity; past that,
+#: only the counter grows (keeps reports readable on huge broken traces).
+MAX_REPORTED_ISSUES = 25
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of validating a record stream or a converted trace."""
+
+    errors: List[str] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+    error_count: int = 0
+    warning_count: int = 0
+    checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.error_count == 0
+
+    def error(self, message: str) -> None:
+        self.error_count += 1
+        if len(self.errors) < MAX_REPORTED_ISSUES:
+            self.errors.append(message)
+
+    def warn(self, message: str) -> None:
+        self.warning_count += 1
+        if len(self.warnings) < MAX_REPORTED_ISSUES:
+            self.warnings.append(message)
+
+    def raise_if_invalid(self) -> None:
+        if not self.ok:
+            shown = "; ".join(self.errors)
+            extra = self.error_count - len(self.errors)
+            if extra > 0:
+                shown += f"; ... and {extra} more"
+            raise ValueError(f"trace failed validation ({self.error_count} error(s)): {shown}")
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else "INVALID"
+        return (
+            f"{status}: {self.checked} record(s) checked, "
+            f"{self.error_count} error(s), {self.warning_count} warning(s)"
+        )
+
+
+def validate_records(
+    records: Sequence[TraceRecord],
+    known_gpu_models: Optional[Sequence[str]] = None,
+) -> ValidationReport:
+    """Validate a normalized record stream against the generic schema.
+
+    Structural violations (non-positive durations, bad shapes, unknown
+    task types) are errors; suspicious-but-replayable rows (unknown GPU
+    model names, explicit gang flags on single-pod tasks) are warnings.
+    """
+    report = ValidationReport()
+    if not records:
+        report.error("trace contains no records")
+        return report
+    known = {m.upper() for m in known_gpu_models} if known_gpu_models else None
+    for i, record in enumerate(records):
+        report.checked += 1
+        where = f"record {i} ({record.job_id or 'unnamed'})"
+        if record.duration <= 0:
+            report.error(f"{where}: duration must be > 0, got {record.duration}")
+        if record.submit_time < 0:
+            report.error(f"{where}: submit_time must be >= 0, got {record.submit_time}")
+        if record.num_pods < 1:
+            report.error(f"{where}: num_pods must be >= 1, got {record.num_pods}")
+        if record.gpus_per_pod <= 0:
+            report.error(f"{where}: gpus_per_pod must be > 0, got {record.gpus_per_pod}")
+        if record.task_type not in TASK_TYPES:
+            report.error(
+                f"{where}: task_type must be one of {TASK_TYPES}, got {record.task_type!r}"
+            )
+        if record.checkpoint_interval <= 0:
+            report.error(
+                f"{where}: checkpoint_interval must be > 0, got {record.checkpoint_interval}"
+            )
+        if known is not None and record.gpu_model and record.gpu_model.upper() not in known:
+            report.warn(f"{where}: unknown gpu_model {record.gpu_model!r} (will be remapped)")
+        if record.gang is True and record.num_pods == 1:
+            report.warn(f"{where}: gang=true on a single-pod task")
+    return report
+
+
+def validate_trace(trace) -> ValidationReport:
+    """Validate a converted :class:`~repro.workloads.Trace` for replay.
+
+    Checks the task list the simulator will consume (positive shapes and
+    durations, non-negative submit times, unique task ids) and the
+    attached per-organization demand history (whole days, finite,
+    non-negative) the GDE forecaster trains on.
+    """
+    import numpy as np
+
+    report = ValidationReport()
+    if not trace.tasks:
+        report.error("trace contains no tasks")
+    seen_ids: Dict[str, int] = {}
+    for i, task in enumerate(trace.tasks):
+        report.checked += 1
+        where = f"task {i} ({task.task_id})"
+        if task.duration <= 0:
+            report.error(f"{where}: duration must be > 0")
+        if task.submit_time < 0:
+            report.error(f"{where}: submit_time must be >= 0")
+        if task.num_pods < 1 or task.gpus_per_pod <= 0:
+            report.error(f"{where}: invalid shape {task.num_pods}x{task.gpus_per_pod}")
+        seen_ids[task.task_id] = seen_ids.get(task.task_id, 0) + 1
+    for task_id, count in seen_ids.items():
+        if count > 1:
+            report.error(f"duplicate task id {task_id!r} appears {count} times")
+    task_orgs = {t.org for t in trace.tasks}
+    for org, series in trace.org_history.items():
+        arr = np.asarray(series, dtype=float)
+        if arr.size == 0 or arr.size % 24 != 0:
+            report.warn(f"org {org!r}: history length {arr.size} is not whole days")
+        if not np.all(np.isfinite(arr)):
+            report.error(f"org {org!r}: history contains non-finite values")
+        elif np.any(arr < 0):
+            report.error(f"org {org!r}: history contains negative demand")
+    missing_history = task_orgs - set(trace.org_history)
+    if trace.org_history and missing_history:
+        report.warn(
+            f"{len(missing_history)} org(s) submit tasks but have no demand history: "
+            f"{sorted(missing_history)[:5]}"
+        )
+    return report

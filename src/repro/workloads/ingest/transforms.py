@@ -1,0 +1,200 @@
+"""Deterministic, composable transforms over normalized record streams.
+
+Each op is a frozen dataclass — picklable into experiment-engine worker
+processes and canonically describable for content-keyed caching — whose
+``apply`` maps a record list to a new record list without mutating the
+input.  A :class:`TransformPipeline` chains ops in order; the pipeline's
+``describe()`` is embedded in trace metadata and in engine cache keys, so
+two conversions agree iff their source bytes *and* their transform chains
+agree.
+
+Determinism contract: given the same input records (in the same order)
+and the same op parameters — including seeds — every op produces the
+same output on every machine and Python process.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .schema import TraceRecord
+
+
+@dataclass(frozen=True)
+class TransformOp:
+    """Base class for record-stream transforms."""
+
+    def apply(self, records: List[TraceRecord]) -> List[TraceRecord]:
+        raise NotImplementedError
+
+    def describe(self) -> Dict[str, object]:
+        """Canonical JSON-able descriptor (metadata and cache keying)."""
+        return {"op": type(self).__name__, **dataclasses.asdict(self)}
+
+
+@dataclass(frozen=True)
+class TimeWindow(TransformOp):
+    """Keep submissions inside ``[start_hours, end_hours)``.
+
+    ``end_hours=None`` keeps everything from ``start_hours`` on.  With
+    ``rebase=True`` (the default) surviving submissions are shifted so
+    the window start becomes ``t = 0`` — what replay expects.
+    """
+
+    start_hours: float = 0.0
+    end_hours: Optional[float] = None
+    rebase: bool = True
+
+    def apply(self, records: List[TraceRecord]) -> List[TraceRecord]:
+        start = self.start_hours * 3600.0
+        end = None if self.end_hours is None else self.end_hours * 3600.0
+        out: List[TraceRecord] = []
+        for record in records:
+            if record.submit_time < start:
+                continue
+            if end is not None and record.submit_time >= end:
+                continue
+            if self.rebase and start > 0:
+                record = dataclasses.replace(record, submit_time=record.submit_time - start)
+            out.append(record)
+        return out
+
+
+@dataclass(frozen=True)
+class ArrivalScale(TransformOp):
+    """Scale the arrival *rate* by ``factor`` (compress/stretch time).
+
+    ``factor=2.0`` squeezes submissions into half the wall-clock span, so
+    twice as many tasks arrive per hour; durations are untouched.  This
+    is how an external trace recorded on a large cluster is re-pressured
+    for a smaller simulated fleet.
+    """
+
+    factor: float = 1.0
+
+    def __post_init__(self):
+        if self.factor <= 0:
+            raise ValueError(f"arrival-scale factor must be > 0, got {self.factor}")
+
+    def apply(self, records: List[TraceRecord]) -> List[TraceRecord]:
+        if self.factor == 1.0:
+            return list(records)
+        return [
+            dataclasses.replace(r, submit_time=r.submit_time / self.factor) for r in records
+        ]
+
+
+@dataclass(frozen=True)
+class DurationClamp(TransformOp):
+    """Clamp task durations into ``[min_seconds, max_seconds]``.
+
+    External traces carry second-long probes and week-long stragglers;
+    clamping keeps the replay horizon bounded the same way the synthetic
+    generator's ``min_runtime``/``max_runtime`` do.
+    """
+
+    min_seconds: Optional[float] = None
+    max_seconds: Optional[float] = None
+
+    def apply(self, records: List[TraceRecord]) -> List[TraceRecord]:
+        out: List[TraceRecord] = []
+        for record in records:
+            duration = record.duration
+            if self.min_seconds is not None:
+                duration = max(duration, self.min_seconds)
+            if self.max_seconds is not None:
+                duration = min(duration, self.max_seconds)
+            out.append(
+                record if duration == record.duration
+                else dataclasses.replace(record, duration=duration)
+            )
+        return out
+
+
+@dataclass(frozen=True)
+class OrgConsolidate(TransformOp):
+    """Keep the ``top_k`` organizations by GPU-time; fold the rest.
+
+    Real traces have hundreds of tenants with long-tail activity; the
+    GDE forecasts per-organization series, so consolidating the tail
+    into ``other_name`` keeps the forecasting problem well-posed.  Ties
+    break lexicographically so the fold is deterministic.
+    """
+
+    top_k: int = 8
+    other_name: str = "other"
+
+    def __post_init__(self):
+        if self.top_k < 1:
+            raise ValueError(f"top_k must be >= 1, got {self.top_k}")
+
+    def apply(self, records: List[TraceRecord]) -> List[TraceRecord]:
+        gpu_time: Dict[str, float] = {}
+        for record in records:
+            gpu_time[record.org] = gpu_time.get(record.org, 0.0) + (
+                record.total_gpus * record.duration
+            )
+        ranked = sorted(gpu_time.items(), key=lambda item: (-item[1], item[0]))
+        keep = {org for org, _ in ranked[: self.top_k]}
+        return [
+            r if r.org in keep else dataclasses.replace(r, org=self.other_name)
+            for r in records
+        ]
+
+
+@dataclass(frozen=True)
+class Downsample(TransformOp):
+    """Keep a seeded random ``fraction`` of the records.
+
+    The coin flips come from one ``numpy`` generator seeded with
+    ``seed``, so the same (ordered) input always keeps the same subset —
+    downsampled conversions are reproducible and cache-stable.
+    """
+
+    fraction: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self):
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {self.fraction}")
+
+    def apply(self, records: List[TraceRecord]) -> List[TraceRecord]:
+        if self.fraction >= 1.0:
+            return list(records)
+        rng = np.random.default_rng(self.seed)
+        keep = rng.random(len(records)) < self.fraction
+        return [record for record, kept in zip(records, keep) if kept]
+
+
+@dataclass(frozen=True)
+class TransformPipeline(TransformOp):
+    """An ordered chain of transform ops applied left to right."""
+
+    ops: Tuple[TransformOp, ...] = ()
+
+    def apply(self, records: List[TraceRecord]) -> List[TraceRecord]:
+        out = list(records)
+        for op in self.ops:
+            out = op.apply(out)
+        return out
+
+    def describe(self) -> Dict[str, object]:
+        return {"op": "TransformPipeline", "ops": [op.describe() for op in self.ops]}
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+
+def make_pipeline(ops: Sequence[TransformOp]) -> TransformPipeline:
+    """Build a pipeline, flattening nested pipelines."""
+    flat: List[TransformOp] = []
+    for op in ops:
+        if isinstance(op, TransformPipeline):
+            flat.extend(op.ops)
+        else:
+            flat.append(op)
+    return TransformPipeline(ops=tuple(flat))

@@ -25,7 +25,11 @@ large_gang frequent 4-8 pod gangs (gang admission and preemption cost)
 ========== =============================================================
 
 Register custom scenarios with :func:`register_scenario`; look one up with
-:func:`get_scenario`; enumerate with :func:`scenario_names`.
+:func:`get_scenario`; enumerate with :func:`scenario_names`.  Ingested
+external traces join the library through ``trace:<path>`` refs (see
+:mod:`repro.workloads.ingest` and ``docs/traces.md``)::
+
+    python -m repro.experiments.cli sweep --scenario trace:philly.json.gz
 """
 
 from __future__ import annotations
@@ -127,6 +131,24 @@ class Scenario:
         trace.metadata["scenario"] = self.name
         return trace
 
+    def cache_descriptor(self, seed: int) -> Dict[str, object]:
+        """The scenario's contribution to an engine cache key.
+
+        Everything that can change simulated results must appear here:
+        the overrides, the fleet mix and the organization mix
+        materialised for ``seed``.  Subclasses that source tasks outside
+        the synthetic generator (e.g. ingested trace replay) override
+        this with their own content descriptor.
+        """
+        descriptor: Dict[str, object] = {
+            "name": self.name,
+            "overrides": dict(self.overrides),
+            "fleet_mix": self.fleet_mix,
+        }
+        if self.org_builder is not None:
+            descriptor["organizations"] = self.org_builder(seed)
+        return descriptor
+
     def build_cluster(
         self,
         num_nodes: int,
@@ -223,7 +245,17 @@ def register_scenario(scenario: Scenario, replace_existing: bool = False) -> Sce
 
 
 def get_scenario(name: str) -> Scenario:
-    """Look a scenario up by name."""
+    """Look a scenario up by name.
+
+    ``trace:<path>`` refs resolve to a
+    :class:`~repro.workloads.ingest.TraceScenario` replaying the ingested
+    trace at ``<path>`` (a converted ``.json``/``.json.gz`` trace or a
+    raw external log); everything else hits the registry.
+    """
+    if name.startswith("trace:"):
+        from .ingest import trace_scenario
+
+        return trace_scenario(name[len("trace:"):])
     key = name.lower().replace("-", "_")
     if key not in _REGISTRY:
         raise KeyError(f"unknown scenario {name!r}; expected one of {scenario_names()}")

@@ -31,7 +31,7 @@ from .organizations import (
     default_organizations,
     generate_org_demand_matrix,
 )
-from .trace import Trace
+from .trace import Trace, fluid_org_usage
 
 
 @dataclass
@@ -247,19 +247,12 @@ class SyntheticTraceGenerator:
         is clipped at the calibrated cluster capacity.
         """
         cfg = self.config
-        hours = int(math.ceil(cfg.duration_hours)) + 1
-        usage: Dict[str, np.ndarray] = {o.name: np.zeros(hours) for o in self.organizations}
-        for task in hp_tasks:
-            start_hour = task.submit_time / 3600.0
-            end_hour = min(hours, (task.submit_time + task.duration) / 3600.0)
-            series = usage.setdefault(task.org, np.zeros(hours))
-            for hour in range(int(start_hour), int(math.ceil(end_hour))):
-                overlap = min(hour + 1, end_hour) - max(hour, start_hour)
-                if overlap > 0:
-                    series[hour] += task.total_gpus * overlap
-        total = np.sum(np.stack(list(usage.values())), axis=0)
-        scale = np.minimum(1.0, cfg.cluster_gpus / np.maximum(total, 1e-9))
-        return {org: series * scale for org, series in usage.items()}
+        return fluid_org_usage(
+            hp_tasks,
+            hours=int(math.ceil(cfg.duration_hours)) + 1,
+            org_names=[o.name for o in self.organizations],
+            cluster_gpus=cfg.cluster_gpus,
+        )
 
     def _build_demand_history(self, hp_tasks: List[Task]) -> Dict[str, np.ndarray]:
         """Synthesize a multi-week demand history consistent with the trace.

@@ -2,20 +2,66 @@
 
 A trace is the list of task submissions a simulation replays, together
 with the per-organization demand history the GDE needs for training.  It
-can be round-tripped through plain JSON so generated traces can be saved
-next to experiment results.
+can be round-tripped through plain JSON — or gzip-compressed JSON when
+the path ends in ``.gz`` — so generated and ingested traces can be saved
+next to experiment results.  Writes are atomic (write-to-temp + rename),
+so an interrupted save never corrupts an existing trace file.
 """
 
 from __future__ import annotations
 
+import gzip
 import json
+import math
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..cluster import GPUModel, Task, TaskType
+
+
+def fluid_org_usage(
+    tasks: Sequence[Task],
+    hours: Optional[int] = None,
+    org_names: Optional[Sequence[str]] = None,
+    cluster_gpus: Optional[float] = None,
+) -> Dict[str, np.ndarray]:
+    """Hourly concurrent HP GPU usage per organization, fluid model.
+
+    Every HP task is assumed to run ``[submit, submit + duration)``; its
+    GPU-time is spread over the hours it overlaps.  ``hours`` fixes the
+    series length (default: up to the last task end); ``org_names`` seeds
+    the organizations (and their order) so quiet orgs still get a zero
+    series; ``cluster_gpus`` clips aggregate usage at capacity, scaling
+    every org proportionally.  Shared by the synthetic generator's
+    demand-history construction and the ingest subsystem's history
+    reconstruction — one implementation, one set of conventions.
+    """
+    hp_tasks = [t for t in tasks if t.is_hp]
+    if hours is None:
+        if not hp_tasks:
+            return {}
+        last_end = max(t.submit_time + t.duration for t in hp_tasks)
+        hours = max(1, int(math.ceil(last_end / 3600.0)))
+    usage: Dict[str, np.ndarray] = {name: np.zeros(hours) for name in (org_names or ())}
+    for task in hp_tasks:
+        start_hour = task.submit_time / 3600.0
+        end_hour = min(hours, (task.submit_time + task.duration) / 3600.0)
+        series = usage.setdefault(task.org, np.zeros(hours))
+        for hour in range(int(start_hour), int(math.ceil(end_hour))):
+            overlap = min(hour + 1, end_hour) - max(hour, start_hour)
+            if overlap > 0:
+                series[hour] += task.total_gpus * overlap
+    if not usage:
+        return {}
+    if cluster_gpus is not None and cluster_gpus > 0:
+        total = np.sum(np.stack(list(usage.values())), axis=0)
+        scale = np.minimum(1.0, cluster_gpus / np.maximum(total, 1e-9))
+        usage = {org: series * scale for org, series in usage.items()}
+    return usage
 
 
 @dataclass
@@ -83,7 +129,14 @@ class Trace:
         return max((t.submit_time for t in self.tasks), default=0.0)
 
     def sorted_tasks(self) -> List[Task]:
-        return sorted(self.tasks, key=lambda t: t.submit_time)
+        """Tasks in replay order: ``(submit_time, task_id)``.
+
+        The task-id tie-break keeps replay order — and therefore every
+        downstream metric — deterministic for traces with simultaneous
+        arrivals (common in ingested external logs with coarse
+        timestamps), independent of how the task list was assembled.
+        """
+        return sorted(self.tasks, key=lambda t: (t.submit_time, t.task_id))
 
     # ------------------------------------------------------------------
     # Statistics
@@ -171,12 +224,44 @@ class Trace:
         }
         return cls(tasks=tasks, org_history=org_history, metadata=dict(records.get("metadata", {})))
 
+    @staticmethod
+    def _is_gzip_path(path: Path) -> bool:
+        return path.name.lower().endswith(".gz")
+
     def save(self, path: str | Path) -> None:
-        Path(path).write_text(json.dumps(self.to_records()))
+        """Write the trace as JSON (gzip-compressed when ``path`` ends in
+        ``.gz``), atomically.
+
+        The payload goes to a temp file in the same directory first and
+        is renamed into place, so a crash or interrupt mid-write leaves
+        any previous version of the file intact instead of a truncated
+        JSON document.
+        """
+        path = Path(path)
+        payload = json.dumps(self.to_records())
+        tmp = path.parent / f".{path.name}.tmp.{os.getpid()}"
+        try:
+            if self._is_gzip_path(path):
+                # Fixed mtime and no embedded filename keep byte-identical
+                # traces byte-identical on disk (content-keyed caching).
+                with tmp.open("wb") as handle:
+                    with gzip.GzipFile(
+                        filename="", fileobj=handle, mode="wb", mtime=0
+                    ) as zipped:
+                        zipped.write(payload.encode("utf-8"))
+            else:
+                tmp.write_text(payload)
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
 
     @classmethod
     def load(cls, path: str | Path) -> "Trace":
-        return cls.from_records(json.loads(Path(path).read_text()))
+        path = Path(path)
+        if cls._is_gzip_path(path):
+            with gzip.open(path, "rt", encoding="utf-8") as handle:
+                return cls.from_records(json.load(handle))
+        return cls.from_records(json.loads(path.read_text()))
 
     def __len__(self) -> int:
         return len(self.tasks)

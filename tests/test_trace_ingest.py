@@ -1,0 +1,519 @@
+"""Tests for the trace ingestion & replay subsystem.
+
+Golden-file adapter tests on the small fixture traces under
+``tests/fixtures/``, transform-pipeline determinism, demand-history
+reconstruction, ``trace:<path>`` scenario integration with the parallel
+experiment engine (worker-count parity, content-keyed caching) and the
+``trace`` CLI group.
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cluster import GPUModel, TaskType
+from repro.experiments import (
+    ArtifactCache,
+    ExperimentEngine,
+    ExperimentScale,
+    SchedulerSpec,
+    WorkloadSpec,
+    metrics_to_payload,
+    sweep_jobs,
+)
+from repro.experiments.cli import main as cli_main
+from repro.experiments.engine import cache_payload
+from repro.workloads import Trace, get_scenario
+from repro.workloads.ingest import (
+    ArrivalScale,
+    Downsample,
+    DurationClamp,
+    OrgConsolidate,
+    TimeWindow,
+    TraceRecord,
+    TraceScenario,
+    detect_format,
+    file_sha256,
+    get_adapter,
+    ingest_trace,
+    make_pipeline,
+    rebase_and_sort,
+    reconstruct_org_history,
+    remap_gpu_model,
+    validate_records,
+    validate_trace,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+PHILLY = FIXTURES / "philly_small.csv"
+PAI = FIXTURES / "pai_small.csv"
+GENERIC_JSONL = FIXTURES / "generic_small.jsonl"
+GENERIC_CSV = FIXTURES / "generic_small.csv"
+
+
+# ----------------------------------------------------------------------
+# Format detection
+# ----------------------------------------------------------------------
+class TestDetectFormat:
+    def test_fixture_formats(self):
+        assert detect_format(PHILLY) == "philly"
+        assert detect_format(PAI) == "pai"
+        assert detect_format(GENERIC_JSONL) == "jsonl"
+        assert detect_format(GENERIC_CSV) == "csv"
+
+    def test_unknown_format_name_raises(self):
+        with pytest.raises(KeyError, match="unknown trace format"):
+            get_adapter("sgee")
+
+
+# ----------------------------------------------------------------------
+# Golden-file adapter tests
+# ----------------------------------------------------------------------
+class TestPhillyAdapter:
+    def test_golden_conversion(self):
+        adapter = get_adapter("philly")
+        records = rebase_and_sort(adapter.read_records(PHILLY))
+        # 12 rows, 2 Failed rows skipped.
+        assert len(records) == 10
+        assert adapter.skipped == 2
+        assert adapter.skip_reasons == {"status:failed": 2}
+        by_id = {r.job_id: r for r in records}
+        # Pass -> hp, Killed -> spot.
+        assert by_id["job-001"].task_type == "hp"
+        assert by_id["job-004"].task_type == "spot"
+        assert sum(1 for r in records if r.task_type == "hp") == 7
+        # Times rebased to the earliest submission (05:00:00).
+        assert records[0].submit_time == 0.0
+        assert by_id["job-012"].submit_time == 5 * 3600.0
+        # Durations from started/finished timestamps.
+        assert by_id["job-001"].duration == 7200.0
+        assert by_id["job-004"].duration == 1800.0
+
+    def test_wide_jobs_split_into_node_sized_gangs(self):
+        records = {r.job_id: r for r in get_adapter("philly").iter_records(PHILLY)}
+        assert (records["job-003"].num_pods, records["job-003"].gpus_per_pod) == (2, 8.0)
+        assert records["job-003"].is_gang
+        # 12 GPUs -> 2 pods of 6 (even split under the 8-GPU node cap).
+        assert (records["job-009"].num_pods, records["job-009"].gpus_per_pod) == (2, 6.0)
+        assert not records["job-001"].is_gang
+
+    def test_vc_becomes_org(self):
+        orgs = {r.org for r in get_adapter("philly").iter_records(PHILLY)}
+        assert orgs == {"vc-ads", "vc-ml", "vc-speech"}
+
+
+class TestPAIAdapter:
+    def test_golden_conversion(self):
+        adapter = get_adapter("pai")
+        records = rebase_and_sort(adapter.read_records(PAI))
+        # 8 rows: Failed and Running are skipped.
+        assert len(records) == 6
+        assert adapter.skipped == 2
+        by_id = {r.job_id: r for r in records}
+        assert by_id["pai-a"].task_type == "hp"
+        assert by_id["pai-c"].task_type == "spot"       # Cancelled -> spot
+        assert by_id["pai-a"].duration == 7200.0
+        # plan_gpu percent -> GPUs per pod; inst_num -> pods.
+        assert by_id["pai-c"].gpus_per_pod == 0.5
+        assert (by_id["pai-b"].num_pods, by_id["pai-b"].gpus_per_pod) == (2, 2.0)
+        assert by_id["pai-b"].is_gang
+        assert by_id["pai-g"].gpus_per_pod == 8.0
+        # Numeric times rebased to the earliest start (1000s).
+        assert by_id["pai-a"].submit_time == 0.0
+        assert by_id["pai-h"].submit_time == 5000.0
+
+    def test_gpu_type_and_group_carried(self):
+        by_id = {r.job_id: r for r in get_adapter("pai").iter_records(PAI)}
+        assert by_id["pai-a"].gpu_model == "V100"
+        assert by_id["pai-d"].gpu_model == "MISC"
+        assert by_id["pai-a"].org == "grp-nlp"
+
+
+class TestGenericAdapters:
+    def test_jsonl_golden(self):
+        records = rebase_and_sort(get_adapter("jsonl").read_records(GENERIC_JSONL))
+        assert len(records) == 8
+        by_id = {r.job_id: r for r in records}
+        assert by_id["g-002"].task_type == "spot"
+        assert by_id["g-002"].checkpoint_interval == 900.0
+        assert by_id["g-002"].is_gang
+        assert by_id["g-003"].gpus_per_pod == 0.5
+        assert by_id["g-003"].num_pods == 1            # defaulted
+        assert by_id["g-001"].gpu_model == "A100"
+
+    def test_csv_matches_jsonl_semantics(self):
+        csv_records = rebase_and_sort(get_adapter("csv").read_records(GENERIC_CSV))
+        assert len(csv_records) == 6
+        by_id = {r.job_id: r for r in csv_records}
+        assert by_id["c-002"].is_gang
+        assert by_id["c-003"].gpu_model is None        # empty cell -> default
+        assert by_id["c-005"].gang is None and not by_id["c-005"].is_gang
+
+    def test_missing_required_field_is_skipped_and_counted(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"job_id": "x", "duration": 100}\n{"submit_time": 0, "duration": 5}\n')
+        adapter = get_adapter("jsonl")
+        records = adapter.read_records(bad)
+        assert len(records) == 1
+        assert adapter.skipped == 1
+
+
+# ----------------------------------------------------------------------
+# Transforms
+# ----------------------------------------------------------------------
+def _records():
+    return rebase_and_sort(get_adapter("jsonl").read_records(GENERIC_JSONL))
+
+
+class TestTransforms:
+    def test_time_window_slices_and_rebases(self):
+        out = TimeWindow(start_hours=1.0, end_hours=2.0).apply(_records())
+        assert {r.job_id for r in out} == {"g-004", "g-005", "g-006"}
+        assert min(r.submit_time for r in out) == 0.0
+        assert max(r.submit_time for r in out) == 1800.0
+
+    def test_arrival_scale_compresses_time(self):
+        out = ArrivalScale(factor=2.0).apply(_records())
+        assert out[-1].submit_time == 4500.0           # 9000s / 2
+        assert out[-1].duration == 5400.0              # durations untouched
+
+    def test_duration_clamp(self):
+        out = DurationClamp(min_seconds=2000.0, max_seconds=7200.0).apply(_records())
+        durations = [r.duration for r in out]
+        assert min(durations) == 2000.0 and max(durations) == 7200.0
+
+    def test_org_consolidate_folds_tail_by_gpu_time(self):
+        out = OrgConsolidate(top_k=1).apply(_records())
+        # org-C has the largest GPU-time (g-008: 16 GPUs x 5400s).
+        assert {r.org for r in out} == {"org-C", "other"}
+
+    def test_downsample_is_seed_deterministic(self):
+        a = Downsample(fraction=0.5, seed=3).apply(_records())
+        b = Downsample(fraction=0.5, seed=3).apply(_records())
+        c = Downsample(fraction=0.5, seed=4).apply(_records())
+        assert [r.job_id for r in a] == [r.job_id for r in b]
+        assert 0 < len(a) < 8
+        assert [r.job_id for r in a] != [r.job_id for r in c]
+
+    def test_pipeline_applies_in_order_and_describes(self):
+        pipeline = make_pipeline([TimeWindow(0.0, 2.0), DurationClamp(max_seconds=3600.0)])
+        out = pipeline.apply(_records())
+        assert max(r.duration for r in out) == 3600.0
+        description = pipeline.describe()
+        assert [op["op"] for op in description["ops"]] == ["TimeWindow", "DurationClamp"]
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            ArrivalScale(factor=0.0)
+        with pytest.raises(ValueError):
+            Downsample(fraction=1.5)
+        with pytest.raises(ValueError):
+            OrgConsolidate(top_k=0)
+
+
+# ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+class TestValidation:
+    def test_fixture_records_are_valid(self):
+        report = validate_records(_records())
+        assert report.ok and report.checked == 8
+
+    def test_structural_errors_reported(self):
+        report = validate_records(
+            [
+                TraceRecord(submit_time=-1.0, duration=0.0, num_pods=0, task_type="batch"),
+            ]
+        )
+        assert not report.ok
+        assert report.error_count == 4
+        with pytest.raises(ValueError, match="failed validation"):
+            report.raise_if_invalid()
+
+    def test_empty_trace_is_an_error(self):
+        assert not validate_records([]).ok
+
+    def test_converted_trace_validation(self):
+        trace = ingest_trace(GENERIC_JSONL)
+        report = validate_trace(trace)
+        assert report.ok
+
+    def test_duplicate_task_ids_flagged(self, tiny_trace):
+        trace = Trace(tasks=[tiny_trace.tasks[0], tiny_trace.tasks[0]])
+        report = validate_trace(trace)
+        assert any("duplicate task id" in e for e in report.errors)
+
+
+# ----------------------------------------------------------------------
+# GPU remapping and history reconstruction
+# ----------------------------------------------------------------------
+class TestRemap:
+    def test_known_models_pass_through(self):
+        assert remap_gpu_model("A100") is GPUModel.A100
+        assert remap_gpu_model("h800") is GPUModel.H800
+
+    def test_default_map_translates_foreign_models(self):
+        assert remap_gpu_model("V100") is GPUModel.A100
+        assert remap_gpu_model("T4") is GPUModel.A10
+        assert remap_gpu_model("MISC") is None
+        assert remap_gpu_model("TPUv4") is None
+
+    def test_fleet_constraint_wins(self):
+        fleet = [GPUModel.H800]
+        assert remap_gpu_model("V100", fleet_models=fleet) is GPUModel.H800
+        assert remap_gpu_model("H800", fleet_models=fleet) is GPUModel.H800
+
+    def test_extra_map_overrides_default(self):
+        assert remap_gpu_model("V100", extra_map={"V100": "H800"}) is GPUModel.H800
+        assert remap_gpu_model("V100", extra_map={"V100": None}) is None
+
+
+class TestHistoryReconstruction:
+    def test_history_shape_and_determinism(self):
+        trace = ingest_trace(GENERIC_JSONL, history_hours=7 * 24, history_seed=5)
+        assert set(trace.org_history) == {"org-A", "org-B", "org-C"}
+        for series in trace.org_history.values():
+            assert len(series) == 7 * 24
+            assert np.all(series >= 0)
+        again = ingest_trace(GENERIC_JSONL, history_hours=7 * 24, history_seed=5)
+        for org in trace.org_history:
+            assert np.array_equal(trace.org_history[org], again.org_history[org])
+
+    def test_history_tracks_hp_demand_only(self):
+        tasks = ingest_trace(GENERIC_JSONL).tasks
+        history = reconstruct_org_history(tasks, history_hours=24)
+        # org-A's fluid HP usage dominates org-B's (8 GPU-hours + more).
+        assert history["org-A"].mean() > history["org-B"].mean()
+
+    def test_capacity_clip(self):
+        tasks = ingest_trace(GENERIC_JSONL).tasks
+        clipped = reconstruct_org_history(tasks, history_hours=24, cluster_gpus=1.0)
+        total = np.sum(np.stack(list(clipped.values())), axis=0)
+        assert np.all(total <= 1.0 + 0.25)  # noise can push slightly past
+
+
+# ----------------------------------------------------------------------
+# ingest_trace end-to-end
+# ----------------------------------------------------------------------
+class TestIngestTrace:
+    def test_philly_end_to_end(self):
+        trace = ingest_trace(PHILLY, fleet_models=[GPUModel.A100])
+        assert len(trace) == 10
+        assert trace.metadata["source_format"] == "philly"
+        assert trace.metadata["num_hp"] == 7 and trace.metadata["num_spot"] == 3
+        assert trace.metadata["source_sha256"] == file_sha256(PHILLY)
+        assert all(t.gpu_model is None or t.gpu_model is GPUModel.A100 for t in trace.tasks)
+
+    def test_pai_remaps_onto_fleet(self):
+        trace = ingest_trace(PAI, fleet_models=[GPUModel.A100])
+        by_id = {t.task_id: t for t in trace.tasks}
+        assert by_id["pai-a"].gpu_model is GPUModel.A100    # V100 -> A100
+        assert by_id["pai-b"].gpu_model is GPUModel.A100    # P100 -> A800 -> fleet
+        assert by_id["pai-d"].gpu_model is None             # MISC -> agnostic
+
+    def test_transforms_recorded_in_metadata(self):
+        trace = ingest_trace(GENERIC_JSONL, transforms=[TimeWindow(0.0, 2.0)])
+        assert trace.metadata["transforms"][0]["op"] == "TimeWindow"
+        assert len(trace) == 6
+
+    def test_duplicate_job_ids_deduplicated(self, tmp_path):
+        src = tmp_path / "dupes.jsonl"
+        src.write_text(
+            '{"job_id": "j", "task_type": "hp", "submit_time": 0, "duration": 60}\n'
+            '{"job_id": "j", "task_type": "hp", "submit_time": 10, "duration": 60}\n'
+        )
+        trace = ingest_trace(src)
+        assert sorted(t.task_id for t in trace.tasks) == ["j", "j#1"]
+
+    def test_invalid_source_raises_by_default(self, tmp_path):
+        src = tmp_path / "invalid.csv"
+        src.write_text("job_id,task_type,submit_time,duration\nx,batch,0,100\n")
+        with pytest.raises(ValueError, match="failed validation"):
+            ingest_trace(src)
+        assert len(ingest_trace(src, validate=False)) == 1
+
+    def test_round_trip_of_converted_trace(self, tmp_path):
+        trace = ingest_trace(PHILLY)
+        path = tmp_path / "philly.json.gz"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.to_records() == trace.to_records()
+
+
+class TestLoadTraceFile:
+    def test_memoised_loads_return_independent_tasks(self, tmp_path):
+        from repro.workloads.ingest import load_trace_file
+
+        path = tmp_path / "t.json"
+        ingest_trace(GENERIC_JSONL).save(path)
+        first = load_trace_file(path)
+        second = load_trace_file(path)
+        # The record parse is memoised, but simulation-mutable Task
+        # objects must be fresh per call.
+        assert first.tasks[0] is not second.tasks[0]
+        first.tasks[0].gpu_model = GPUModel.H800
+        assert second.tasks[0].gpu_model is not GPUModel.H800
+        assert first.to_records()["tasks"][0] != second.to_records()["tasks"][0]
+
+    def test_memo_invalidated_when_file_rewritten(self, tmp_path):
+        from repro.workloads.ingest import load_trace_file
+
+        path = tmp_path / "t.json"
+        trace = ingest_trace(GENERIC_JSONL)
+        trace.save(path)
+        assert len(load_trace_file(path)) == len(trace)
+        Trace(tasks=trace.tasks[:3], org_history=trace.org_history,
+              metadata=trace.metadata).save(path)
+        assert len(load_trace_file(path)) == 3
+
+
+# ----------------------------------------------------------------------
+# Scenario + engine integration
+# ----------------------------------------------------------------------
+TINY = ExperimentScale(name="tiny", num_nodes=4, duration_hours=6.0, seed=3)
+
+
+@pytest.fixture(scope="module")
+def converted_traces(tmp_path_factory):
+    """The Philly fixture and the generic JSONL fixture, converted."""
+    root = tmp_path_factory.mktemp("converted")
+    paths = {}
+    for name, src in (("philly", PHILLY), ("generic", GENERIC_JSONL)):
+        trace = ingest_trace(src, fleet_models=[GPUModel.A100])
+        paths[name] = root / f"{name}.json.gz"
+        trace.save(paths[name])
+    return paths
+
+
+def _trace_jobs(path, schedulers=("yarn-cs",)):
+    specs = [SchedulerSpec(kind=kind) for kind in schedulers]
+    workloads = [WorkloadSpec(scenario=f"trace:{path}", label="replay")]
+    return sweep_jobs(TINY, specs, workloads, prefix="trace-test")
+
+
+class TestTraceScenario:
+    def test_get_scenario_resolves_trace_refs(self, converted_traces):
+        scenario = get_scenario(f"trace:{converted_traces['philly']}")
+        assert isinstance(scenario, TraceScenario)
+        trace = scenario.build_trace(cluster_gpus=32.0, duration_hours=6.0)
+        assert len(trace) == 10
+        assert trace.metadata["scenario"].startswith("trace:")
+
+    def test_missing_trace_file_fails_fast(self):
+        with pytest.raises(FileNotFoundError):
+            get_scenario("trace:/nonexistent/trace.json")
+
+    def test_duration_clips_replay_window(self, converted_traces):
+        scenario = get_scenario(f"trace:{converted_traces['philly']}")
+        clipped = scenario.build_trace(cluster_gpus=32.0, duration_hours=3.0)
+        assert len(clipped) < 10
+        assert clipped.metadata["replay_clipped_tasks"] == 10 - len(clipped)
+        assert all(t.submit_time < 3.0 * 3600.0 for t in clipped.tasks)
+
+    def test_replay_remaps_models_onto_scale_fleet(self, converted_traces):
+        scenario = get_scenario(f"trace:{converted_traces['generic']}")
+        trace = scenario.build_trace(cluster_gpus=32.0, duration_hours=6.0,
+                                     gpu_model=GPUModel.H800)
+        models = {t.gpu_model for t in trace.tasks}
+        assert models <= {None, GPUModel.H800}
+
+    def test_raw_trace_files_replay_directly(self):
+        scenario = get_scenario(f"trace:{PHILLY}")
+        trace = scenario.build_trace(cluster_gpus=32.0, duration_hours=6.0)
+        assert len(trace) == 10
+
+    def test_worker_count_parity_bit_identical(self, converted_traces):
+        """Acceptance: identical metrics at --workers 1 and --workers 4."""
+        for name in ("philly", "generic"):
+            jobs = _trace_jobs(converted_traces[name], schedulers=("yarn-cs", "fgd"))
+            serial = ExperimentEngine(workers=1).run(jobs)
+            pooled = ExperimentEngine(workers=4).run(jobs)
+            for key in serial:
+                assert metrics_to_payload(serial[key]) == metrics_to_payload(pooled[key]), (
+                    f"{name}/{key} diverged across worker counts"
+                )
+
+    def test_cache_hits_keyed_on_trace_content(self, converted_traces, tmp_path):
+        cache = ArtifactCache(tmp_path / "cache")
+        jobs = _trace_jobs(converted_traces["philly"])
+        first = ExperimentEngine(workers=1, cache=cache)
+        first.run(jobs)
+        assert first.stats.executed == 1
+        second = ExperimentEngine(workers=1, cache=cache)
+        second.run(jobs)
+        assert second.stats.cache_hits == 1 and second.stats.executed == 0
+
+    def test_editing_trace_content_invalidates_cache_key(self, tmp_path):
+        path = tmp_path / "trace.json"
+        trace = ingest_trace(GENERIC_JSONL)
+        trace.save(path)
+        key_before = cache_payload(_trace_jobs(path)[0])
+        # Re-save with one task dropped: same path, different bytes.
+        Trace(tasks=trace.tasks[:-1], org_history=trace.org_history,
+              metadata=trace.metadata).save(path)
+        job = _trace_jobs(path)[0]
+        assert cache_payload(job) != key_before
+
+    def test_moving_trace_file_preserves_cache_key(self, converted_traces, tmp_path):
+        import shutil
+
+        original = converted_traces["philly"]
+        copy = tmp_path / "renamed.json.gz"
+        shutil.copyfile(original, copy)
+        payload_a = cache_payload(_trace_jobs(original)[0])
+        payload_b = cache_payload(_trace_jobs(copy)[0])
+        assert payload_a == payload_b
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestTraceCLI:
+    def test_convert_validate_stats_round_trip(self, tmp_path, capsys):
+        out = tmp_path / "philly.json.gz"
+        assert cli_main(["trace", "convert", str(PHILLY), str(out),
+                         "--fleet-model", "A100"]) == 0
+        assert out.exists()
+        assert cli_main(["trace", "validate", str(out)]) == 0
+        assert cli_main(["trace", "stats", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "10 task(s)" in printed
+        assert "source_sha256" in printed
+
+    def test_convert_applies_transforms(self, tmp_path):
+        out = tmp_path / "windowed.json"
+        assert cli_main(["trace", "convert", str(GENERIC_JSONL), str(out),
+                         "--window", "0:2", "--max-duration", "3600",
+                         "--top-orgs", "1", "--sample", "0.9"]) == 0
+        trace = Trace.load(out)
+        assert len(trace) <= 6
+        assert max(t.duration for t in trace.tasks) <= 3600.0
+
+    def test_convert_rejects_unroutable_output_suffix(self, tmp_path):
+        with pytest.raises(SystemExit, match="json"):
+            cli_main(["trace", "convert", str(PHILLY), str(tmp_path / "out.gz")])
+        with pytest.raises(SystemExit, match="json"):
+            cli_main(["trace", "convert", str(PHILLY), str(tmp_path / "out.trace")])
+
+    def test_convert_rejects_unknown_map_destination(self, tmp_path):
+        with pytest.raises(SystemExit, match="A1000"):
+            cli_main(["trace", "convert", str(PHILLY), str(tmp_path / "o.json"),
+                      "--map", "V100=A1000"])
+        # 'none' and real models stay accepted.
+        assert cli_main(["trace", "convert", str(PHILLY), str(tmp_path / "o.json"),
+                         "--map", "V100=none", "--map", "P100=H800"]) == 0
+
+    def test_validate_raw_trace_and_failure_exit_code(self, tmp_path):
+        assert cli_main(["trace", "validate", str(PHILLY)]) == 0
+        bad = tmp_path / "bad.csv"
+        bad.write_text("job_id,task_type,submit_time,duration\nx,hp,0,-5\n")
+        assert cli_main(["trace", "validate", str(bad)]) == 1
+
+    def test_sweep_accepts_trace_scenario(self, converted_traces, capsys):
+        code = cli_main([
+            "sweep", "--scenario", f"trace:{converted_traces['philly']}",
+            "--schedulers", "YARN-CS", "--workers", "1",
+        ])
+        assert code == 0
+        assert "trace:" in capsys.readouterr().out
