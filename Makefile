@@ -5,7 +5,7 @@ PYTHON      ?= python
 PYTHONPATH  := src
 export PYTHONPATH
 
-.PHONY: test bench bench-scaling lint verify sweep trace-smoke all
+.PHONY: test bench bench-scaling bench-record perf-smoke lint verify sweep trace-smoke all
 
 # Knobs for `make sweep` (scenario library + parallel experiment engine).
 SCENARIO ?= burst
@@ -30,6 +30,19 @@ bench:
 ## Just the scaling benchmark (legacy-vs-optimized engine comparison).
 bench-scaling:
 	$(PYTHON) -m pytest benchmarks/test_bench_scaling.py -q -s
+
+## Full placement-bound benchmark (512 nodes, >=20k tasks) with the
+## legacy search comparison; writes the machine-readable BENCH_4.json
+## perf record at the repo root and fails on any speedup regression.
+bench-record:
+	REPRO_BENCH_PLACEMENT_TIER=full REPRO_BENCH_RECORD=1 REPRO_BENCH_ENFORCE=1 \
+		$(PYTHON) -m pytest benchmarks/test_bench_scaling.py -q -s -k placement
+
+## Reduced placement benchmark used by the CI perf gate: fails when the
+## measured speedup ratio regresses >20% vs the checked-in reference.
+perf-smoke:
+	REPRO_BENCH_PLACEMENT_TIER=smoke REPRO_BENCH_ENFORCE=1 \
+		$(PYTHON) -m pytest benchmarks/test_bench_scaling.py -q -s -k placement
 
 ## Scenario sweep through the parallel experiment engine, e.g.
 ##   make sweep SCENARIO=spot_heavy WORKERS=8 SCALE=medium

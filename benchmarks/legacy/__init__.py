@@ -1,0 +1,31 @@
+"""Pre-refactor (PR-3-era) placement implementation, frozen for parity checks.
+
+This package is a verbatim snapshot of the placement search as it stood
+before the capacity-indexed placement subsystem (PR 4): linear scans over
+every model-compatible node, per-task ``NodeView`` rebuilds, no shared
+per-pass context and no failed-shape memo.  It exists so the parity
+harness (``benchmarks/test_bench_placement_parity.py``) and the scaling
+benchmark (``benchmarks/test_bench_scaling.py``) can run the *old* search
+against the *current* engine and assert bit-identical
+``SimulationMetrics`` plus the wall-clock speedup.
+
+Nothing in ``src/`` may import from here; the direction is one-way.
+"""
+
+from .legacy_schedulers import (
+    LegacyChronusScheduler,
+    LegacyFGDScheduler,
+    LegacyGFSScheduler,
+    LegacyLyraScheduler,
+    LegacyYarnCSScheduler,
+    create_legacy_scheduler,
+)
+
+__all__ = [
+    "LegacyChronusScheduler",
+    "LegacyFGDScheduler",
+    "LegacyGFSScheduler",
+    "LegacyLyraScheduler",
+    "LegacyYarnCSScheduler",
+    "create_legacy_scheduler",
+]

@@ -6,6 +6,7 @@ task model with checkpoints and run logs, the event loop, metric
 collection and a simple pricing model.
 """
 
+from .capacity_index import CapacityIndex, CapacityIndexError
 from .cluster import AggregateConsistencyError, Cluster, ClusterStats
 from .events import Event, EventKind, SchedulingDecision
 from .gpu import GPUDevice, GPUModel, HOURLY_PRICE_USD
@@ -35,6 +36,8 @@ from .task import (
 
 __all__ = [
     "AggregateConsistencyError",
+    "CapacityIndex",
+    "CapacityIndexError",
     "Cluster",
     "ClusterStats",
     "ClusterSimulator",

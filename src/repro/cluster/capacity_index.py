@@ -1,0 +1,339 @@
+"""Per-GPU-model candidate indexes over node capacity.
+
+The placement search used to rescan every model-compatible node per task
+per pass.  :class:`CapacityIndex` replaces those scans with incrementally
+maintained per-model structures, updated through the same capacity-listener
+mechanism that keeps the cluster's O(1) aggregates consistent:
+
+* **Idle-GPU buckets** — nodes bucketed by their count of completely idle
+  cards, so candidates for a whole-GPU pod of size ``k`` are exactly the
+  nodes in buckets ``k..max``, plus a ``max_idle`` watermark that rejects
+  oversized pods in O(1) and an integer idle aggregate that gates gang
+  requests (``num_pods * k`` idle cards are necessary) without a scan.
+* **Free / fractional-card / spot node sets** — nodes with any free
+  capacity, nodes with a partially free card, and nodes hosting spot
+  tasks, each a superset filter for the corresponding candidate queries.
+
+Two membership semantics are exposed because the schedulers use two
+feasibility notions for fractional pods:
+
+* :meth:`node_fit_candidates` mirrors ``Node.can_fit_pod`` — a fractional
+  pod needs a **single card** with enough free fraction.
+* :meth:`view_fit_candidates` mirrors ``NodeView.can_fit_pod`` — a
+  fractional pod needs enough **aggregate** free capacity on the node.
+
+Every query returns nodes in canonical cluster construction order, which
+is what the pre-refactor linear scans produced; scheduler tie-breaks that
+rely on stable sort order therefore see identical orderings.
+
+The index also publishes monotonic *sequence numbers* that the per-pass
+placement memo uses to decide whether a previously failed task shape
+could have become feasible: ``free_increase_seq`` advances whenever any
+node's free capacity grows (a finish or eviction), ``spot_increase_seq``
+whenever spot-held capacity grows (new preemption victims appeared), and
+``node_mutation`` stamps each node's last change so cached node views can
+be refreshed lazily instead of rebuilt per task.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .gpu import EPSILON, GPUModel
+from .node import Node
+
+
+class _ModelIndex:
+    """Bucketed capacity structures for the nodes of one GPU model."""
+
+    __slots__ = ("idle_buckets", "max_idle", "total_idle", "free", "frac", "spot")
+
+    def __init__(self, max_gpus: int):
+        #: idle-card count -> {node_id: Node}
+        self.idle_buckets: List[Dict[str, Node]] = [dict() for _ in range(max_gpus + 1)]
+        self.max_idle: int = 0
+        #: sum of completely idle cards across the model's nodes
+        self.total_idle: int = 0
+        #: nodes with free_capacity > 0
+        self.free: Dict[str, Node] = {}
+        #: nodes with a partially free card (max_card_free > 0)
+        self.frac: Dict[str, Node] = {}
+        #: nodes with spot-held GPUs (spot_gpus > 0)
+        self.spot: Dict[str, Node] = {}
+
+    def _grow(self, idle: int) -> None:
+        while len(self.idle_buckets) <= idle:
+            self.idle_buckets.append(dict())
+
+    def insert(self, node: Node) -> None:
+        idle = node.idle_gpus
+        self._grow(idle)
+        self.idle_buckets[idle][node.node_id] = node
+        self.total_idle += idle
+        if idle > self.max_idle:
+            self.max_idle = idle
+        if node.free_capacity > 0.0:
+            self.free[node.node_id] = node
+        if node.max_card_free > 0.0:
+            self.frac[node.node_id] = node
+        if node.spot_gpus > 0.0:
+            self.spot[node.node_id] = node
+
+    def move(self, node: Node, old_idle: int) -> None:
+        """Re-bucket ``node`` after a mutation (``old_idle`` = previous bucket)."""
+        new_idle = node.idle_gpus
+        if new_idle != old_idle:
+            del self.idle_buckets[old_idle][node.node_id]
+            self._grow(new_idle)
+            self.idle_buckets[new_idle][node.node_id] = node
+            self.total_idle += new_idle - old_idle
+            if new_idle > self.max_idle:
+                self.max_idle = new_idle
+            elif old_idle == self.max_idle and not self.idle_buckets[old_idle]:
+                level = old_idle
+                while level > 0 and not self.idle_buckets[level]:
+                    level -= 1
+                self.max_idle = level
+        self._sync_set(self.free, node, node.free_capacity > 0.0)
+        self._sync_set(self.frac, node, node.max_card_free > 0.0)
+        self._sync_set(self.spot, node, node.spot_gpus > 0.0)
+
+    @staticmethod
+    def _sync_set(members: Dict[str, Node], node: Node, belongs: bool) -> None:
+        if belongs:
+            if node.node_id not in members:
+                members[node.node_id] = node
+        else:
+            members.pop(node.node_id, None)
+
+
+class CapacityIndexError(RuntimeError):
+    """Raised in debug mode when the index drifts from a full node scan."""
+
+
+class CapacityIndex:
+    """Candidate-selection index over a fixed set of nodes.
+
+    Owned by :class:`~repro.cluster.cluster.Cluster`, which forwards every
+    capacity-listener notification to :meth:`on_node_change`.  All queries
+    take an optional ``model``; ``None`` unions every model, preserving
+    global construction order.
+    """
+
+    def __init__(self, nodes: Iterable[Node]):
+        self._order: Dict[str, int] = {}
+        self._models: Dict[GPUModel, _ModelIndex] = {}
+        #: node_id -> idle-card count at last sync (bucket the node is in)
+        self._known_idle: Dict[str, int] = {}
+        #: node_id -> stamp of the node's last observed mutation
+        self._node_mut: Dict[str, int] = {}
+        self._mutations: int = 0
+        self.free_increase_seq: int = 0
+        self.spot_increase_seq: int = 0
+        for node in nodes:
+            self._order[node.node_id] = len(self._order)
+            index = self._models.get(node.gpu_model)
+            if index is None:
+                index = self._models[node.gpu_model] = _ModelIndex(node.num_gpus)
+            index.insert(node)
+            self._known_idle[node.node_id] = node.idle_gpus
+            self._node_mut[node.node_id] = 0
+
+    # ------------------------------------------------------------------
+    # Maintenance (driven by the cluster's capacity listener)
+    # ------------------------------------------------------------------
+    def on_node_change(self, node: Node, free_delta: float, spot_delta: float) -> None:
+        """Fold one node mutation into the index (amortised O(1))."""
+        self._mutations += 1
+        self._node_mut[node.node_id] = self._mutations
+        if free_delta > 0.0:
+            self.free_increase_seq += 1
+        if spot_delta > 0.0:
+            self.spot_increase_seq += 1
+        old_idle = self._known_idle[node.node_id]
+        self._models[node.gpu_model].move(node, old_idle)
+        self._known_idle[node.node_id] = node.idle_gpus
+
+    def node_mutation(self, node_id: str) -> int:
+        """Stamp of the node's last capacity mutation (0 = never mutated)."""
+        return self._node_mut.get(node_id, 0)
+
+    # ------------------------------------------------------------------
+    # O(1) feasibility gates
+    # ------------------------------------------------------------------
+    def _indexes_for(self, model: Optional[GPUModel]) -> List[_ModelIndex]:
+        if model is None:
+            return list(self._models.values())
+        index = self._models.get(model)
+        return [index] if index is not None else []
+
+    def max_idle_gpus(self, model: Optional[GPUModel] = None) -> int:
+        """Largest count of idle cards on any single node of ``model``."""
+        return max((ix.max_idle for ix in self._indexes_for(model)), default=0)
+
+    def total_idle_gpus(self, model: Optional[GPUModel] = None) -> int:
+        """Total completely idle cards across nodes of ``model``."""
+        return sum(ix.total_idle for ix in self._indexes_for(model))
+
+    def can_host_pod(self, model: Optional[GPUModel], gpus_per_pod: float) -> bool:
+        """Whether any node could host one pod right now (O(1) for whole pods)."""
+        if gpus_per_pod < 1.0 - EPSILON:
+            return any(ix.frac for ix in self._indexes_for(model))
+        return self.max_idle_gpus(model) >= int(round(gpus_per_pod))
+
+    # ------------------------------------------------------------------
+    # Candidate enumeration (canonical construction order)
+    # ------------------------------------------------------------------
+    def _ordered(self, nodes: List[Node]) -> List[Node]:
+        nodes.sort(key=lambda n: self._order[n.node_id])
+        return nodes
+
+    def _whole_pod_candidates(self, model: Optional[GPUModel], whole: int) -> List[Node]:
+        found: List[Node] = []
+        for ix in self._indexes_for(model):
+            if ix.max_idle < whole:
+                continue
+            for bucket in ix.idle_buckets[whole:]:
+                found.extend(bucket.values())
+        return self._ordered(found)
+
+    def node_fit_candidates(
+        self, model: Optional[GPUModel], gpus_per_pod: float
+    ) -> List[Node]:
+        """Nodes where one pod fits now, per ``Node.can_fit_pod`` semantics.
+
+        Fractional pods require a single card with enough free fraction;
+        whole-GPU pods require enough completely idle cards.
+        """
+        if gpus_per_pod < 1.0 - EPSILON:
+            found = [
+                n
+                for ix in self._indexes_for(model)
+                for n in ix.frac.values()
+                if n.max_card_free + EPSILON >= gpus_per_pod
+            ]
+            return self._ordered(found)
+        return self._whole_pod_candidates(model, int(round(gpus_per_pod)))
+
+    def view_fit_candidates(
+        self, model: Optional[GPUModel], gpus_per_pod: float
+    ) -> List[Node]:
+        """Nodes where one pod fits now, per ``NodeView.can_fit_pod`` semantics.
+
+        Fractional pods only need aggregate free capacity on the node.
+        """
+        if gpus_per_pod < 1.0 - EPSILON:
+            found = [
+                n
+                for ix in self._indexes_for(model)
+                for n in ix.free.values()
+                if n.free_capacity + EPSILON >= gpus_per_pod
+            ]
+            return self._ordered(found)
+        return self._whole_pod_candidates(model, int(round(gpus_per_pod)))
+
+    def spot_nodes(self, model: Optional[GPUModel] = None) -> List[Node]:
+        """Nodes currently holding spot-task GPUs (preemption candidates)."""
+        found = [n for ix in self._indexes_for(model) for n in ix.spot.values()]
+        return self._ordered(found)
+
+    def preemption_candidates(
+        self, model: Optional[GPUModel], gpus_per_pod: float
+    ) -> List[Node]:
+        """Nodes that could host a pod now or after evicting spot tasks.
+
+        The union of the view-feasible set and the spot set: a node with
+        neither free view capacity nor spot tasks can never receive a pod,
+        with or without preemption.
+        """
+        fit = self.view_fit_candidates(model, gpus_per_pod)
+        seen = {n.node_id for n in fit}
+        extra = [
+            n
+            for ix in self._indexes_for(model)
+            for n in ix.spot.values()
+            if n.node_id not in seen
+        ]
+        if not extra:
+            return fit
+        return self._ordered(fit + extra)
+
+    # ------------------------------------------------------------------
+    # Debug validation
+    # ------------------------------------------------------------------
+    def validate(self, nodes: Iterable[Node]) -> None:
+        """Verify every index structure against a full node scan.
+
+        Called from ``Cluster.validate_aggregates`` in debug mode
+        (``REPRO_VALIDATE_AGGREGATES=1``); raises
+        :class:`CapacityIndexError` on any drift.
+        """
+        per_model: Dict[GPUModel, List[Node]] = {}
+        for node in nodes:
+            per_model.setdefault(node.gpu_model, []).append(node)
+        if set(per_model) != set(self._models):
+            raise CapacityIndexError(
+                f"indexed models {sorted(m.value for m in self._models)} != "
+                f"actual {sorted(m.value for m in per_model)}"
+            )
+        for model, members in per_model.items():
+            ix = self._models[model]
+            for node in members:
+                idle = node.idle_gpus
+                if node.node_id not in ix.idle_buckets[idle]:
+                    raise CapacityIndexError(
+                        f"node {node.node_id} (idle={idle}) missing from its idle bucket"
+                    )
+                for belongs, name, index_set in (
+                    (node.free_capacity > 0.0, "free", ix.free),
+                    (node.max_card_free > 0.0, "frac", ix.frac),
+                    (node.spot_gpus > 0.0, "spot", ix.spot),
+                ):
+                    if belongs != (node.node_id in index_set):
+                        raise CapacityIndexError(
+                            f"node {node.node_id} {name}-set membership is "
+                            f"{node.node_id in index_set}, expected {belongs}"
+                        )
+            bucketed = sum(len(b) for b in ix.idle_buckets)
+            if bucketed != len(members):
+                raise CapacityIndexError(
+                    f"{model.value}: {bucketed} nodes bucketed, {len(members)} exist"
+                )
+            want_total = sum(n.idle_gpus for n in members)
+            if ix.total_idle != want_total:
+                raise CapacityIndexError(
+                    f"{model.value}: cached total_idle {ix.total_idle} != {want_total}"
+                )
+            want_max = max((n.idle_gpus for n in members), default=0)
+            if ix.max_idle != want_max:
+                raise CapacityIndexError(
+                    f"{model.value}: cached max_idle {ix.max_idle} != {want_max}"
+                )
+
+    # ------------------------------------------------------------------
+    def brute_force_candidates(
+        self,
+        nodes: Iterable[Node],
+        model: Optional[GPUModel],
+        gpus_per_pod: float,
+        semantics: str = "node",
+    ) -> List[Node]:
+        """Reference implementation for tests: linear-scan candidate set.
+
+        ``semantics`` selects ``"node"`` (``Node.can_fit_pod``) or
+        ``"view"`` (aggregate free capacity) feasibility.
+        """
+        found = []
+        for node in nodes:
+            if model is not None and node.gpu_model is not model:
+                continue
+            if semantics == "node":
+                if node.can_fit_pod(gpus_per_pod):
+                    found.append(node)
+            else:
+                if gpus_per_pod < 1.0 - EPSILON:
+                    if node.free_capacity + EPSILON >= gpus_per_pod:
+                        found.append(node)
+                elif node.idle_gpus >= int(round(gpus_per_pod)):
+                    found.append(node)
+        return found

@@ -34,6 +34,7 @@ import os
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from .capacity_index import CapacityIndex
 from .gpu import GPUModel
 from .node import Node
 from .task import PodPlacement, Task, TaskType
@@ -130,6 +131,8 @@ class Cluster:
         # Static per-model node lists plus incrementally updated aggregates.
         self._nodes_by_model: Dict[GPUModel, List[Node]] = {}
         self._agg: Dict[GPUModel, _ModelAggregate] = {}
+        #: capacity-indexed candidate selection (built before listeners fire)
+        self.capacity_index = CapacityIndex(self.nodes)
         registered: List[Node] = []
         try:
             for node in self.nodes:
@@ -160,6 +163,7 @@ class Cluster:
         agg.free += free_delta
         agg.hp += hp_delta
         agg.spot += spot_delta
+        self.capacity_index.on_node_change(node, free_delta, spot_delta)
 
     def validate_aggregates(self) -> None:
         """Verify every cached aggregate against a full node/task scan.
@@ -198,6 +202,7 @@ class Cluster:
             raise AggregateConsistencyError(
                 f"running-task counters diverged: {self._running_counts} != {counts}"
             )
+        self.capacity_index.validate(self.nodes)
 
     def _check(self) -> None:
         if self._validate:

@@ -36,6 +36,7 @@ class Node:
     #: cached capacity figures, refreshed after every allocate/release
     _idle_cache: int = 0
     _free_cache: float = 0.0
+    _max_card_free_cache: float = 1.0
     #: owning cluster's aggregate-maintenance hook; called with
     #: ``(node, free_delta, hp_delta, spot_delta)`` after every mutation so
     #: cluster-level caches stay consistent even when a node is mutated
@@ -54,8 +55,19 @@ class Node:
 
     def _refresh_capacity(self) -> None:
         """Recompute cached idle/free figures (called after every mutation)."""
-        self._idle_cache = sum(1 for g in self.gpus if g.is_idle)
-        self._free_cache = sum(g.free_fraction for g in self.gpus)
+        idle = 0
+        free = 0.0
+        max_card = 0.0
+        for g in self.gpus:
+            if g.is_idle:
+                idle += 1
+            fraction = g.free_fraction
+            free += fraction
+            if fraction > max_card:
+                max_card = fraction
+        self._idle_cache = idle
+        self._free_cache = free
+        self._max_card_free_cache = max_card
 
     def register_capacity_listener(
         self, listener: Optional[Callable[["Node", float, float, float], None]]
@@ -111,6 +123,11 @@ class Node:
     def free_capacity(self) -> float:
         """Total free GPU capacity including fractional remainders."""
         return self._free_cache
+
+    @property
+    def max_card_free(self) -> float:
+        """Largest free fraction on any single card (fractional-pod fit)."""
+        return self._max_card_free_cache
 
     @property
     def allocated_gpus(self) -> float:

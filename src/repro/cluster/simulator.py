@@ -7,8 +7,11 @@ checkpoint-aware restarts; schedulers only make placement decisions.
 Scheduler interface (duck-typed, see :class:`repro.schedulers.base.Scheduler`):
 
 * ``sort_queue(pending, now)`` — ordering of the waiting queue.
-* ``try_schedule(task, cluster, now)`` — returns a
-  :class:`~repro.cluster.events.SchedulingDecision` or ``None``.
+* ``try_schedule(task, cluster, now, ctx=None)`` — returns a
+  :class:`~repro.cluster.events.SchedulingDecision` or ``None``; ``ctx``
+  is the simulator's shared per-pass
+  :class:`~repro.schedulers.placement.PlacementContext` and is only passed
+  to schedulers whose signature declares it (duck-typed compatibility).
 * ``blocks_on_failure(task)`` — optional FCFS semantics: a failed head
   blocks the rest of its class for this pass.
 * ``on_task_submit / on_task_start / on_task_finish / on_task_evicted`` —
@@ -24,12 +27,18 @@ dict-backed ordered set with O(1) membership and removal — so one pass of
 the scheduler's sort instead of the ``O(P^2)`` list scans the naive
 implementation paid.  The event loop additionally maintains a counter of
 non-tick events so the tick handler's liveness check is O(1) instead of
-scanning the whole event heap every tick.
+scanning the whole event heap every tick.  Placement search runs through
+a per-pass :class:`~repro.schedulers.placement.PlacementContext`: node
+views are built once per pass and refreshed only for mutated nodes,
+candidates come from the cluster's capacity index, and task shapes that
+already failed against unchanged capacity are skipped without a search
+(see ``docs/performance.md``).
 """
 
 from __future__ import annotations
 
 import heapq
+import inspect
 import itertools
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
@@ -115,6 +124,26 @@ class ClusterSimulator:
         self.allocation_samples: List[float] = []
         self.allocation_sample_times: List[float] = []
         self._finished_count = 0
+        #: shared per-pass placement state (indexed candidates, cached node
+        #: views, failed-shape memo) handed to every ``try_schedule`` call
+        from ..schedulers.placement import PlacementContext
+
+        self.placement_ctx = PlacementContext(cluster)
+        self._scheduler_takes_ctx = self._accepts_ctx(scheduler)
+
+    @staticmethod
+    def _accepts_ctx(scheduler) -> bool:
+        """Whether ``scheduler.try_schedule`` takes the per-pass context.
+
+        The scheduler interface is duck-typed, so third-party schedulers
+        written against the pre-context three-argument signature must keep
+        working; they simply forgo the shared-context fast path.
+        """
+        try:
+            signature = inspect.signature(scheduler.try_schedule)
+        except (TypeError, ValueError):  # builtins / exotic callables
+            return False
+        return "ctx" in signature.parameters
 
     # ------------------------------------------------------------------
     # Event plumbing
@@ -147,7 +176,9 @@ class ClusterSimulator:
         """Run the simulation until the trace drains (or ``max_time`` hits)."""
         if not self._events:
             raise SimulationError("no tasks submitted")
-        first_time = min(e.time for e in self._events)
+        # The event list is a heap ordered by time first: the root is the
+        # earliest event, no O(n) scan needed.
+        first_time = self._events[0].time
         self.now = first_time
         if hasattr(self.scheduler, "on_simulation_start"):
             self.scheduler.on_simulation_start(self.cluster, self.now)
@@ -237,6 +268,7 @@ class ClusterSimulator:
         """
         if not self.pending:
             return
+        self.placement_ctx.begin_pass()
         if only is not None:
             ordered = [only] if only in self.pending else []
         else:
@@ -250,7 +282,12 @@ class ClusterSimulator:
                 continue
             if (blocked_spot and task.is_spot) or (blocked_hp and task.is_hp):
                 continue
-            decision = self.scheduler.try_schedule(task, self.cluster, self.now)
+            if self._scheduler_takes_ctx:
+                decision = self.scheduler.try_schedule(
+                    task, self.cluster, self.now, ctx=self.placement_ctx
+                )
+            else:
+                decision = self.scheduler.try_schedule(task, self.cluster, self.now)
             if decision is None:
                 if blocks is not None and blocks(task):
                     # FCFS semantics: the head of this class blocks the rest.

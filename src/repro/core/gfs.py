@@ -25,6 +25,7 @@ import numpy as np
 
 from ..cluster import Cluster, SchedulingDecision, Task
 from ..schedulers.base import Scheduler
+from ..schedulers.placement import PlacementContext
 from .gde import (
     GPUDemandEstimator,
     OnlineForecaster,
@@ -193,10 +194,18 @@ class GFSScheduler(Scheduler):
     def sort_queue(self, pending: List[Task], now: float) -> List[Task]:
         return self.pts.sort_queue(pending, now)
 
-    def try_schedule(self, task: Task, cluster: Cluster, now: float) -> Optional[SchedulingDecision]:
+    def try_schedule(
+        self,
+        task: Task,
+        cluster: Cluster,
+        now: float,
+        ctx: Optional[PlacementContext] = None,
+    ) -> Optional[SchedulingDecision]:
         if task.is_spot and not self._quota_admits(task, cluster):
             return None
-        decision = self.pts.schedule(task, cluster, now, self._total_gpu_seconds(cluster, now))
+        decision = self.pts.schedule(
+            task, cluster, now, self._total_gpu_seconds(cluster, now), ctx=ctx
+        )
         if decision is not None and task.is_spot:
             task.guaranteed_hours = self.config.guarantee_hours
         return decision

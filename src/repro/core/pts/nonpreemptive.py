@@ -6,6 +6,12 @@ breaker), then ranked by the lexicographic score tuple
 ``<Score1, Score2, Score3>``; the top node receives the pod.  If any pod
 cannot be placed the whole task fails (gang semantics) and no state is
 mutated — the simulator only materialises returned decisions.
+
+With a :class:`~repro.schedulers.placement.PlacementContext` the candidate
+set comes from the cluster's capacity index (only nodes that can host at
+least one pod right now) instead of a scan over every model-compatible
+node; a node that cannot host a pod at pass time can never become feasible
+during the task's own greedy loop, so the restriction is exact.
 """
 
 from __future__ import annotations
@@ -13,31 +19,41 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from ...cluster import Node, PodPlacement, Task
-from ...schedulers.placement import NodeView
+from ...schedulers.placement import NodeView, PlacementContext
 from .scoring import ScoringConfig, circuit_breaker_active, score_tuple
 
 
 def non_preemptive_placement(
     task: Task,
-    nodes: Sequence[Node],
+    nodes: Optional[Sequence[Node]],
     now: float,
     config: ScoringConfig,
     use_colocation: bool = True,
     use_eviction_awareness: bool = True,
     views: Optional[Dict[str, NodeView]] = None,
+    ctx: Optional[PlacementContext] = None,
 ) -> Optional[List[PodPlacement]]:
-    """Algorithm 1: place every pod of ``task`` without preempting anyone."""
-    candidates = [
-        n for n in nodes if task.gpu_model is None or n.gpu_model is task.gpu_model
-    ]
-    if not candidates:
-        return None
-    if views is None:
-        view_map = {n.node_id: NodeView.from_node(n) for n in candidates}
+    """Algorithm 1: place every pod of ``task`` without preempting anyone.
+
+    Pass either ``nodes`` (index-free scan, used by direct callers and
+    tests) or ``ctx`` (capacity-indexed candidates and shared views).
+    """
+    if ctx is not None:
+        view_map = ctx.clone_views(ctx.view_fit_candidates(task))
     else:
-        view_map = {
-            n.node_id: views[n.node_id].clone() for n in candidates if n.node_id in views
-        }
+        candidates = [
+            n for n in (nodes or ()) if task.gpu_model is None or n.gpu_model is task.gpu_model
+        ]
+        if not candidates:
+            return None
+        if views is None:
+            view_map = {n.node_id: NodeView.from_node(n) for n in candidates}
+        else:
+            view_map = {
+                n.node_id: views[n.node_id].clone() for n in candidates if n.node_id in views
+            }
+    if not view_map:
+        return None
 
     placements: List[PodPlacement] = []
     for _ in range(task.num_pods):

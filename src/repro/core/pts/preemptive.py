@@ -11,6 +11,12 @@ the lowest preemption cost (Eq. 19):
 where ``G``/``F`` are the historical numbers of successful/evicted spot
 runs, ``|T_k|`` the number of tasks preempted on the node, and waste is the
 un-checkpointed GPU-time lost by each victim (Eq. 17).
+
+With a :class:`~repro.schedulers.placement.PlacementContext` the candidate
+set is the union of currently feasible nodes and nodes holding spot
+capacity — any other node can never receive a pod, with or without
+preemption — enumerated in canonical cluster order so victim choices (and
+the GFS-p random draw sequence) match the pre-refactor full scan exactly.
 """
 
 from __future__ import annotations
@@ -20,7 +26,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Set, Tuple
 
 from ...cluster import Cluster, Node, PodPlacement, Task
-from ...schedulers.placement import NodeView, spot_tasks_on_node
+from ...schedulers.placement import NodeView, PlacementContext, spot_tasks_on_node
 
 
 @dataclass
@@ -84,30 +90,36 @@ def preemption_cost(
 
 def preemptive_placement(
     task: Task,
-    nodes: Sequence[Node],
+    nodes: Optional[Sequence[Node]],
     cluster: Cluster,
     now: float,
     beta: float,
     total_gpu_seconds: float,
     random_selection: bool = False,
     rng: Optional[random.Random] = None,
+    ctx: Optional[PlacementContext] = None,
 ) -> Optional[Tuple[List[PodPlacement], List[str]]]:
     """Algorithm 2: place every pod of an HP task, evicting cheap spot tasks.
 
     Returns ``(placements, victim task ids)`` or ``None`` when even full
     preemption cannot satisfy the task.  With ``random_selection`` the
     cost model is ignored and victims/nodes are picked at random (the
-    GFS-p ablation).
+    GFS-p ablation).  Pass either ``nodes`` (index-free scan) or ``ctx``
+    (capacity-indexed candidates and shared views).
     """
     if not task.is_hp:
         raise ValueError("preemptive scheduling is reserved for HP tasks")
-    candidates = [
-        n for n in nodes if task.gpu_model is None or n.gpu_model is task.gpu_model
-    ]
+    if ctx is not None:
+        candidates = ctx.preemption_candidates(task)
+        views = ctx.clone_views(candidates)
+    else:
+        candidates = [
+            n for n in (nodes or ()) if task.gpu_model is None or n.gpu_model is task.gpu_model
+        ]
+        views = {n.node_id: NodeView.from_node(n) for n in candidates}
     if not candidates:
         return None
     rng = rng or random.Random(0)
-    views = {n.node_id: NodeView.from_node(n) for n in candidates}
     placements: List[PodPlacement] = []
     all_victims: List[Task] = []
     victim_ids: Set[str] = set()

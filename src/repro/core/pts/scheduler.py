@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from ...cluster import Cluster, SchedulingDecision, Task
+from ...schedulers.placement import PlacementContext
 from .nonpreemptive import non_preemptive_placement
 from .preemptive import preemptive_placement
 from .scoring import ScoringConfig
@@ -45,43 +46,55 @@ class PreemptiveTaskScheduler:
         cluster: Cluster,
         now: float,
         total_gpu_seconds: float,
+        ctx: Optional[PlacementContext] = None,
     ) -> Optional[SchedulingDecision]:
         """Algorithm 3: non-preemptive first, preemptive fallback for HP tasks."""
         cfg = self.config
+        if ctx is None:
+            ctx = PlacementContext(cluster)
         # Fast capacity gate: the task's total demand exceeding the free
         # capacity (an O(1) cached aggregate) makes non-preemptive placement
         # impossible — skip the per-node scoring scan entirely.  The margin
         # stays above the card-level fit EPSILON so the gate can only skip
         # genuinely infeasible attempts.
         placements = None
-        nodes: Optional[List] = None
         if task.total_gpus <= cluster.idle_gpus(task.gpu_model) + 1e-6:
-            nodes = cluster.nodes_for_model(task.gpu_model)
-            placements = non_preemptive_placement(
-                task,
-                nodes,
-                now,
-                cfg.scoring,
-                use_colocation=cfg.use_colocation,
-                use_eviction_awareness=cfg.use_eviction_awareness,
-            )
+            if not ctx.infeasible(task, "pts-np"):
+                placements = non_preemptive_placement(
+                    task,
+                    None,
+                    now,
+                    cfg.scoring,
+                    use_colocation=cfg.use_colocation,
+                    use_eviction_awareness=cfg.use_eviction_awareness,
+                    ctx=ctx,
+                )
+                if placements is None:
+                    ctx.note_failure(task, "pts-np")
         if placements is not None:
             return SchedulingDecision(placements=placements)
         if not task.is_hp:
             return None
-        if nodes is None:
-            nodes = cluster.nodes_for_model(task.gpu_model)
+        # The failed-shape memo must not swallow the rng draws of the
+        # random-preemption ablation: a skipped search would desynchronise
+        # the rng stream from the unmemoised run.
+        memo = not cfg.random_preemption
+        if memo and ctx.infeasible(task, "pts-preempt", track_spot=True):
+            return None
         result = preemptive_placement(
             task,
-            nodes,
+            None,
             cluster,
             now,
             beta=cfg.beta,
             total_gpu_seconds=total_gpu_seconds,
             random_selection=cfg.random_preemption,
             rng=self._rng,
+            ctx=ctx,
         )
         if result is None:
+            if memo:
+                ctx.note_failure(task, "pts-preempt", track_spot=True)
             return None
         placements, victim_ids = result
         return SchedulingDecision(placements=placements, preempted_task_ids=victim_ids)

@@ -6,6 +6,7 @@ from .fgd import FGDScheduler, fgd_score, fragmentation_after
 from .lyra import LyraScheduler
 from .placement import (
     NodeView,
+    PlacementContext,
     build_views,
     filter_nodes,
     find_placement,
@@ -20,6 +21,7 @@ __all__ = [
     "FGDScheduler",
     "LyraScheduler",
     "NodeView",
+    "PlacementContext",
     "Scheduler",
     "YarnCSScheduler",
     "available_schedulers",

@@ -10,6 +10,7 @@ from abc import ABC, abstractmethod
 from typing import List, Optional
 
 from ..cluster import Cluster, SchedulingDecision, Task
+from .placement import PlacementContext
 
 
 class Scheduler(ABC):
@@ -58,9 +59,21 @@ class Scheduler(ABC):
     # ------------------------------------------------------------------
     @abstractmethod
     def try_schedule(
-        self, task: Task, cluster: Cluster, now: float
+        self,
+        task: Task,
+        cluster: Cluster,
+        now: float,
+        ctx: Optional[PlacementContext] = None,
     ) -> Optional[SchedulingDecision]:
-        """Attempt to place ``task``; return ``None`` to keep it queued."""
+        """Attempt to place ``task``; return ``None`` to keep it queued.
+
+        ``ctx`` is the simulator's per-pass
+        :class:`~repro.schedulers.placement.PlacementContext` (shared node
+        views, indexed candidate enumeration, failed-shape memo).  It is
+        optional so direct calls and third-party duck-typed schedulers
+        keep working; implementations should build a transient context
+        when it is ``None``.
+        """
 
     # ------------------------------------------------------------------
     # Optional notification hooks

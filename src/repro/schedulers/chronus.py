@@ -22,7 +22,7 @@ from typing import Optional
 
 from ..cluster import Cluster, SchedulingDecision, Task
 from .base import Scheduler
-from .placement import filter_nodes, find_placement
+from .placement import PlacementContext
 from .yarn_cs import best_fit_score
 
 
@@ -55,11 +55,18 @@ class ChronusScheduler(Scheduler):
         next_boundary = math.ceil(now / lease) * lease
         return max(0.0, next_boundary - now)
 
-    def try_schedule(self, task: Task, cluster: Cluster, now: float) -> Optional[SchedulingDecision]:
-        nodes = filter_nodes(task, cluster.nodes)
+    def try_schedule(
+        self,
+        task: Task,
+        cluster: Cluster,
+        now: float,
+        ctx: Optional[PlacementContext] = None,
+    ) -> Optional[SchedulingDecision]:
+        if ctx is None:
+            ctx = PlacementContext(cluster)
         lease = self.hp_lease if task.is_hp else self.spot_lease
         delay = self._lease_alignment_delay(now, lease)
-        placements = find_placement(task, nodes, score=best_fit_score)
+        placements = ctx.find_placement(task, score=best_fit_score, pool="chronus")
         if placements is None:
             # Lease guarantee: running tasks keep their lease; the HP task
             # waits for completions instead of preempting.

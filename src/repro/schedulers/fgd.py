@@ -17,7 +17,7 @@ from ..cluster import Cluster, Node, SchedulingDecision, Task
 from .base import Scheduler
 from .placement import (
     NodeView,
-    filter_nodes,
+    PlacementContext,
     find_placement,
     spot_tasks_on_node,
     virtually_preempt_task,
@@ -69,21 +69,31 @@ class FGDScheduler(Scheduler):
         # not backfill past a stuck spot task.
         return task.is_spot
 
-    def try_schedule(self, task: Task, cluster: Cluster, now: float) -> Optional[SchedulingDecision]:
-        nodes = filter_nodes(task, cluster.nodes)
-        placements = find_placement(task, nodes, score=fgd_score)
+    def try_schedule(
+        self,
+        task: Task,
+        cluster: Cluster,
+        now: float,
+        ctx: Optional[PlacementContext] = None,
+    ) -> Optional[SchedulingDecision]:
+        if ctx is None:
+            ctx = PlacementContext(cluster)
+        placements = ctx.find_placement(task, score=fgd_score, pool="fgd-np")
         if placements is not None:
             return SchedulingDecision(placements=placements)
         if task.is_hp:
-            return self._preempt_for_fragmentation(task, cluster, nodes, now)
+            return self._preempt_for_fragmentation(task, cluster, now, ctx)
         return None
 
     # ------------------------------------------------------------------
     def _preempt_for_fragmentation(
-        self, task: Task, cluster: Cluster, nodes: List[Node], now: float
+        self, task: Task, cluster: Cluster, now: float, ctx: PlacementContext
     ) -> Optional[SchedulingDecision]:
         """Preempt spot tasks node-by-node, ranked by post-preemption tightness."""
-        views = {n.node_id: NodeView.from_node(n) for n in nodes}
+        if ctx.infeasible(task, "fgd-preempt", track_spot=True):
+            return None
+        candidates = ctx.preemption_candidates(task)
+        views = ctx.clone_views(candidates)
 
         def node_rank(node: Node) -> float:
             # Prefer nodes whose spot capacity plus idle capacity most tightly
@@ -93,13 +103,13 @@ class FGDScheduler(Scheduler):
             return overshoot if overshoot >= 0 else float("inf")
 
         victims: List[str] = []
-        for node in sorted((n for n in nodes if n.spot_gpus > 0), key=node_rank):
+        for node in sorted(ctx.spot_nodes(task), key=node_rank):
             for spot in spot_tasks_on_node(node, cluster):
                 if spot.task_id in victims:
                     continue
                 virtually_preempt_task(views, spot)
                 victims.append(spot.task_id)
-                placements = find_placement(task, nodes, score=fgd_score, views=views)
+                placements = find_placement(task, candidates, score=fgd_score, views=views)
                 if placements is not None:
                     used_nodes = {p.node_id for p in placements}
                     needed = []
@@ -110,4 +120,5 @@ class FGDScheduler(Scheduler):
                     return SchedulingDecision(
                         placements=placements, preempted_task_ids=needed or victims
                     )
+        ctx.note_failure(task, "fgd-preempt", track_spot=True)
         return None

@@ -15,18 +15,23 @@ queuing times in the paper's comparison.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 from ..cluster import Cluster, Node, SchedulingDecision, Task
 from .base import Scheduler
 from .placement import (
     NodeView,
-    filter_nodes,
+    PlacementContext,
     find_placement,
     spot_tasks_on_node,
     virtually_preempt_task,
 )
 from .yarn_cs import best_fit_score
+
+
+def _hp_affinity_score(node: Node, view: NodeView, t: Task) -> float:
+    """Prefer nodes that host no spot task so reclaims stay rare."""
+    return (0.0 if node.spot_gpus > 0 else 1000.0) - view.free_capacity
 
 
 class LyraScheduler(Scheduler):
@@ -49,43 +54,53 @@ class LyraScheduler(Scheduler):
     def __init__(self, capacity_reserve: float = 0.15):
         self.capacity_reserve = capacity_reserve
 
-    def try_schedule(self, task: Task, cluster: Cluster, now: float) -> Optional[SchedulingDecision]:
+    def try_schedule(
+        self,
+        task: Task,
+        cluster: Cluster,
+        now: float,
+        ctx: Optional[PlacementContext] = None,
+    ) -> Optional[SchedulingDecision]:
+        if ctx is None:
+            ctx = PlacementContext(cluster)
         if task.is_spot:
-            return self._schedule_spot(task, cluster)
-        return self._schedule_hp(task, cluster, filter_nodes(task, cluster.nodes), now)
+            return self._schedule_spot(task, cluster, ctx)
+        return self._schedule_hp(task, cluster, now, ctx)
 
     # ------------------------------------------------------------------
-    def _schedule_spot(self, task: Task, cluster: Cluster) -> Optional[SchedulingDecision]:
+    def _schedule_spot(
+        self, task: Task, cluster: Cluster, ctx: PlacementContext
+    ) -> Optional[SchedulingDecision]:
         # The reserve check runs against the cluster's O(1) cached
         # aggregates before any per-node work, so a throttled spot queue
         # costs O(1) per waiting task instead of a full node scan.
         reserve = self.capacity_reserve * cluster.total_gpus(task.gpu_model)
         if cluster.idle_gpus(task.gpu_model) - task.total_gpus < reserve:
             return None  # keep a buffer of idle capacity for HP growth
-        nodes = filter_nodes(task, cluster.nodes)
-        loaned = [n for n in nodes if n.hp_gpus == 0]
-        placements = find_placement(task, loaned, score=best_fit_score)
+        loaned = [n for n in ctx.fit_candidates(task) if n.hp_gpus == 0]
+        placements = ctx.find_placement(
+            task, score=best_fit_score, pool="lyra-loaned", candidates=loaned
+        )
         if placements is None:
             return None
         return SchedulingDecision(placements=placements)
 
     def _schedule_hp(
-        self, task: Task, cluster: Cluster, nodes: List[Node], now: float
+        self, task: Task, cluster: Cluster, now: float, ctx: PlacementContext
     ) -> Optional[SchedulingDecision]:
-        # Prefer nodes that host no spot task so reclaims stay rare.
-        def hp_affinity_score(node: Node, view: NodeView, t: Task) -> float:
-            return (0.0 if node.spot_gpus > 0 else 1000.0) - view.free_capacity
-
-        placements = find_placement(task, nodes, score=hp_affinity_score)
+        placements = ctx.find_placement(task, score=_hp_affinity_score, pool="lyra-hp")
         if placements is not None:
             return SchedulingDecision(placements=placements)
 
         # Reclaim loaned nodes: order candidate nodes by how few spot tasks
         # would be displaced, then virtually reclaim until the task fits.
-        views = {n.node_id: NodeView.from_node(n) for n in nodes}
-        victims: List[str] = []
+        if ctx.infeasible(task, "lyra-reclaim", track_spot=True):
+            return None
+        candidates = ctx.preemption_candidates(task)
+        views = ctx.clone_views(candidates)
+        victims = []
         reclaim_order = sorted(
-            (n for n in nodes if n.spot_gpus > 0),
+            ctx.spot_nodes(task),
             key=lambda n: (len(spot_tasks_on_node(n, cluster)), -n.spot_gpus),
         )
         for node in reclaim_order:
@@ -94,7 +109,7 @@ class LyraScheduler(Scheduler):
                     continue
                 virtually_preempt_task(views, spot)
                 victims.append(spot.task_id)
-            placements = find_placement(task, nodes, score=hp_affinity_score, views=views)
+            placements = find_placement(task, candidates, score=_hp_affinity_score, views=views)
             if placements is not None:
                 used_nodes = {p.node_id for p in placements}
                 needed = []
@@ -103,4 +118,5 @@ class LyraScheduler(Scheduler):
                     if any(p.node_id in used_nodes for p in victim.placements):
                         needed.append(vid)
                 return SchedulingDecision(placements=placements, preempted_task_ids=needed or victims)
+        ctx.note_failure(task, "lyra-reclaim", track_spot=True)
         return None

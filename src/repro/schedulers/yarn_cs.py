@@ -14,7 +14,7 @@ from ..cluster import Cluster, Node, SchedulingDecision, Task
 from .base import Scheduler
 from .placement import (
     NodeView,
-    filter_nodes,
+    PlacementContext,
     find_placement,
     gpus_held_on_node,
     spot_tasks_on_node,
@@ -48,38 +48,47 @@ class YarnCSScheduler(Scheduler):
         # spot tasks submitted after it (HP tasks preempt, so they rarely wait).
         return task.is_spot
 
-    def try_schedule(self, task: Task, cluster: Cluster, now: float) -> Optional[SchedulingDecision]:
-        nodes = filter_nodes(task, cluster.nodes)
-        placements = find_placement(task, nodes, score=best_fit_score)
+    def try_schedule(
+        self,
+        task: Task,
+        cluster: Cluster,
+        now: float,
+        ctx: Optional[PlacementContext] = None,
+    ) -> Optional[SchedulingDecision]:
+        if ctx is None:
+            ctx = PlacementContext(cluster)
+        placements = ctx.find_placement(task, score=best_fit_score, pool="yarn-np")
         if placements is not None:
             return SchedulingDecision(placements=placements)
         if task.is_hp:
-            return self._preemptive_schedule(task, cluster, nodes, now)
+            return self._preemptive_schedule(task, cluster, now, ctx)
         return None
 
     # ------------------------------------------------------------------
     def _preemptive_schedule(
-        self, task: Task, cluster: Cluster, nodes: List[Node], now: float
+        self, task: Task, cluster: Cluster, now: float, ctx: PlacementContext
     ) -> Optional[SchedulingDecision]:
         """Naive preemption: evict the most recently started spot tasks first."""
-        views = {n.node_id: NodeView.from_node(n) for n in nodes}
+        if ctx.infeasible(task, "yarn-preempt", track_spot=True):
+            return None
+        # Only nodes that fit now or hold reclaimable spot capacity can ever
+        # receive a pod; restricting the search set this way is exact.
+        candidates = ctx.preemption_candidates(task)
+        views = ctx.clone_views(candidates)
         victims: List[str] = []
         # Preempt node by node (densest spot usage first) until the task fits.
-        spot_nodes = sorted(
-            (n for n in nodes if n.spot_gpus > 0),
-            key=lambda n: -n.spot_gpus,
-        )
+        spot_nodes = sorted(ctx.spot_nodes(task), key=lambda n: -n.spot_gpus)
         for node in spot_nodes:
-            candidates = sorted(
+            spot_candidates = sorted(
                 spot_tasks_on_node(node, cluster),
                 key=lambda t: -(t.run_logs[-1].start if t.run_logs else 0.0),
             )
-            for victim in candidates:
+            for victim in spot_candidates:
                 if victim.task_id in victims:
                     continue
                 virtually_preempt_task(views, victim)
                 victims.append(victim.task_id)
-                placements = find_placement(task, nodes, score=best_fit_score, views=views)
+                placements = find_placement(task, candidates, score=best_fit_score, views=views)
                 if placements is not None:
                     # Only evict victims whose node actually hosts the task.
                     used_nodes = {p.node_id for p in placements}
@@ -92,4 +101,5 @@ class YarnCSScheduler(Scheduler):
                         )
                     ]
                     return SchedulingDecision(placements=placements, preempted_task_ids=needed or victims)
+        ctx.note_failure(task, "yarn-preempt", track_spot=True)
         return None
