@@ -5,7 +5,7 @@ PYTHON      ?= python
 PYTHONPATH  := src
 export PYTHONPATH
 
-.PHONY: test bench bench-scaling bench-record perf-smoke lint verify sweep trace-smoke all
+.PHONY: test bench bench-scaling bench-record perf-smoke lint verify sweep trace-smoke chaos-smoke all
 
 # Knobs for `make sweep` (scenario library + parallel experiment engine).
 SCENARIO ?= burst
@@ -32,11 +32,14 @@ bench-scaling:
 	$(PYTHON) -m pytest benchmarks/test_bench_scaling.py -q -s
 
 ## Full placement-bound benchmark (512 nodes, >=20k tasks) with the
-## legacy search comparison; writes the machine-readable BENCH_4.json
-## perf record at the repo root and fails on any speedup regression.
+## legacy search comparison, plus the full churn tier (256 nodes under
+## node_churn); writes the machine-readable BENCH_4.json and BENCH_5.json
+## perf records at the repo root and fails on any regression.
 bench-record:
 	REPRO_BENCH_PLACEMENT_TIER=full REPRO_BENCH_RECORD=1 REPRO_BENCH_ENFORCE=1 \
 		$(PYTHON) -m pytest benchmarks/test_bench_scaling.py -q -s -k placement
+	REPRO_BENCH_DYNAMICS_TIER=full REPRO_BENCH_RECORD=1 REPRO_BENCH_ENFORCE=1 \
+		$(PYTHON) -m pytest benchmarks/test_bench_dynamics.py -q -s
 
 ## Reduced placement benchmark used by the CI perf gate: fails when the
 ## measured speedup ratio regresses >20% vs the checked-in reference.
@@ -61,6 +64,14 @@ trace-smoke:
 	$(PYTHON) -m repro.experiments.cli sweep \
 		--scenario trace:$(TRACE_DIR)/philly.json.gz \
 		--schedulers GFS --workers 1 --cache-dir $(TRACE_DIR)/cache
+
+## Chaos smoke: one fast node_churn sweep covering every scheduler
+## family (Chronus/YARN-CS/FGD/Lyra/PTS/GFS) through the parallel
+## engine, plus the dynamics overhead/determinism benchmark.
+chaos-smoke:
+	$(PYTHON) -m repro.experiments.cli sweep --scenario node_churn \
+		--scale small --workers 2 --spot-scale 2.0
+	$(PYTHON) -m pytest benchmarks/test_bench_dynamics.py tests/test_chaos_scenarios.py -q
 
 ## Lint: ruff when available, otherwise a byte-compile syntax sweep.
 lint:

@@ -11,7 +11,10 @@ Public API overview
     The paper's contribution: GDE forecasting, SQA quota control, the PTS
     preemption-aware scheduler and the assembled ``GFSScheduler``.
 ``repro.schedulers``
-    Baseline schedulers (YARN-CS, Chronus, Lyra, FGD).
+    Baseline schedulers (YARN-CS, Chronus, Lyra, FGD) and standalone PTS.
+``repro.dynamics``
+    Cluster dynamics: deterministic fault injection (node failures,
+    maintenance drains, elastic capacity) for the simulator.
 ``repro.optim``
     The Eq. 12 optimisation model and a toy exact solver.
 ``repro.analysis``
@@ -22,11 +25,12 @@ Public API overview
 
 __version__ = "1.0.0"
 
-from . import analysis, cluster, core, experiments, optim, schedulers, workloads
+from . import analysis, cluster, core, dynamics, experiments, optim, schedulers, workloads
 from .cluster import (
     Cluster,
     ClusterSimulator,
     GPUModel,
+    ReliabilityMetrics,
     SimulationMetrics,
     SimulatorConfig,
     Task,
@@ -34,10 +38,12 @@ from .cluster import (
     run_simulation,
 )
 from .core import GFSConfig, GFSScheduler, make_ablation
+from .dynamics import DynamicsSpec, FaultInjector, get_dynamics
 from .schedulers import (
     ChronusScheduler,
     FGDScheduler,
     LyraScheduler,
+    PTSScheduler,
     Scheduler,
     YarnCSScheduler,
     create_scheduler,
@@ -48,11 +54,15 @@ __all__ = [
     "ChronusScheduler",
     "Cluster",
     "ClusterSimulator",
+    "DynamicsSpec",
     "FGDScheduler",
+    "FaultInjector",
     "GFSConfig",
     "GFSScheduler",
     "GPUModel",
     "LyraScheduler",
+    "PTSScheduler",
+    "ReliabilityMetrics",
     "Scheduler",
     "SimulationMetrics",
     "SimulatorConfig",
@@ -66,8 +76,10 @@ __all__ = [
     "cluster",
     "core",
     "create_scheduler",
+    "dynamics",
     "experiments",
     "generate_trace",
+    "get_dynamics",
     "make_ablation",
     "optim",
     "run_simulation",

@@ -8,13 +8,22 @@ collection and a simple pricing model.
 
 from .capacity_index import CapacityIndex, CapacityIndexError
 from .cluster import AggregateConsistencyError, Cluster, ClusterStats
-from .events import Event, EventKind, SchedulingDecision
+from .events import (
+    DYNAMICS_EVENT_KINDS,
+    DynamicsAction,
+    Event,
+    EventKind,
+    SchedulingDecision,
+)
 from .gpu import GPUDevice, GPUModel, HOURLY_PRICE_USD
 from .metrics import (
+    DynamicsCounts,
+    ReliabilityMetrics,
     SimulationMetrics,
     TaskClassMetrics,
     compute_class_metrics,
     compute_metrics,
+    compute_reliability,
     improvement,
     percentile,
 )
@@ -41,6 +50,9 @@ __all__ = [
     "Cluster",
     "ClusterStats",
     "ClusterSimulator",
+    "DYNAMICS_EVENT_KINDS",
+    "DynamicsAction",
+    "DynamicsCounts",
     "Event",
     "EventKind",
     "FleetPricing",
@@ -50,6 +62,7 @@ __all__ = [
     "Node",
     "PendingQueue",
     "PodPlacement",
+    "ReliabilityMetrics",
     "RunLog",
     "SchedulingDecision",
     "SimulationError",
@@ -61,6 +74,7 @@ __all__ = [
     "TaskType",
     "compute_class_metrics",
     "compute_metrics",
+    "compute_reliability",
     "generate_checkpoints",
     "improvement",
     "make_nodes",

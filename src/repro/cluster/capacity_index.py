@@ -159,6 +159,54 @@ class CapacityIndex:
         return self._node_mut.get(node_id, 0)
 
     # ------------------------------------------------------------------
+    # Fleet membership (driven by cluster dynamics)
+    # ------------------------------------------------------------------
+    def remove_node(self, node: Node) -> None:
+        """Take ``node`` out of every candidate structure (node went offline).
+
+        The node keeps its canonical construction-order slot so a later
+        :meth:`add_node` restores identical enumeration order.  The node's
+        mutation stamp is bumped so cached views are refreshed on rejoin.
+        """
+        node_id = node.node_id
+        if node_id not in self._known_idle:
+            raise KeyError(f"node {node_id} is not indexed (already offline?)")
+        self._mutations += 1
+        self._node_mut[node_id] = self._mutations
+        ix = self._models[node.gpu_model]
+        idle = self._known_idle.pop(node_id)
+        del ix.idle_buckets[idle][node_id]
+        ix.total_idle -= idle
+        if idle == ix.max_idle and not ix.idle_buckets[idle]:
+            level = idle
+            while level > 0 and not ix.idle_buckets[level]:
+                level -= 1
+            ix.max_idle = level
+        ix.free.pop(node_id, None)
+        ix.frac.pop(node_id, None)
+        ix.spot.pop(node_id, None)
+
+    def add_node(self, node: Node) -> None:
+        """Re-index ``node`` after it rejoins the fleet (repair/activation).
+
+        Free capacity grows, so the free-increase sequence number advances
+        and previously memoised failed shapes are retried.
+        """
+        node_id = node.node_id
+        if node_id not in self._order:
+            raise KeyError(f"node {node_id} was never part of this cluster")
+        if node_id in self._known_idle:
+            raise KeyError(f"node {node_id} is already indexed")
+        self._mutations += 1
+        self._node_mut[node_id] = self._mutations
+        if node.free_capacity > 0.0:
+            self.free_increase_seq += 1
+        if node.spot_gpus > 0.0:
+            self.spot_increase_seq += 1
+        self._models[node.gpu_model].insert(node)
+        self._known_idle[node_id] = node.idle_gpus
+
+    # ------------------------------------------------------------------
     # O(1) feasibility gates
     # ------------------------------------------------------------------
     def _indexes_for(self, model: Optional[GPUModel]) -> List[_ModelIndex]:
@@ -271,13 +319,15 @@ class CapacityIndex:
         per_model: Dict[GPUModel, List[Node]] = {}
         for node in nodes:
             per_model.setdefault(node.gpu_model, []).append(node)
-        if set(per_model) != set(self._models):
+        # Offline nodes are passed filtered out, so a model may legitimately
+        # have zero online members; its (empty) index is still checked below.
+        if not set(per_model) <= set(self._models):
             raise CapacityIndexError(
-                f"indexed models {sorted(m.value for m in self._models)} != "
-                f"actual {sorted(m.value for m in per_model)}"
+                f"indexed models {sorted(m.value for m in self._models)} miss "
+                f"some of {sorted(m.value for m in per_model)}"
             )
-        for model, members in per_model.items():
-            ix = self._models[model]
+        for model, ix in self._models.items():
+            members = per_model.get(model, [])
             for node in members:
                 idle = node.idle_gpus
                 if node.node_id not in ix.idle_buckets[idle]:

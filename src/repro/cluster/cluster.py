@@ -174,7 +174,9 @@ class Cluster:
         ``REPRO_VALIDATE_AGGREGATES`` environment variable is set).
         """
         for model, agg in self._agg.items():
-            nodes = self._nodes_by_model[model]
+            # Offline nodes (dynamics: failed/drained/reclaimed) contribute
+            # nothing to the schedulable aggregates.
+            nodes = [n for n in self._nodes_by_model[model] if n.available]
             expected = {
                 "total": float(sum(n.total_gpus for n in nodes)),
                 "free": float(sum(n.free_capacity for n in nodes)),
@@ -202,7 +204,7 @@ class Cluster:
             raise AggregateConsistencyError(
                 f"running-task counters diverged: {self._running_counts} != {counts}"
             )
-        self.capacity_index.validate(self.nodes)
+        self.capacity_index.validate(n for n in self.nodes if n.available)
 
     def _check(self) -> None:
         if self._validate:
@@ -382,6 +384,63 @@ class Cluster:
             self.evicted_spot_runs += 1
         else:
             self.successful_spot_runs += 1
+
+    # ------------------------------------------------------------------
+    # Fleet membership (cluster dynamics: failures, drains, elasticity)
+    # ------------------------------------------------------------------
+    def active_nodes(self) -> List[Node]:
+        """Nodes currently part of the schedulable fleet."""
+        return [n for n in self.nodes if n.available]
+
+    def deactivate_node(self, node_id: str) -> Node:
+        """Take a node offline: drop its capacity from every aggregate/index.
+
+        The node must be empty — the simulator kills or requeues its
+        running tasks through the normal release paths *before* the node
+        leaves the fleet, so the capacity listener keeps the aggregates
+        consistent throughout.  Offline nodes are excluded from all
+        candidate enumeration (``capacity_index``) and reject direct
+        allocations, so no placement can target them until reactivated.
+
+        Raises
+        ------
+        ValueError
+            If the node is already offline or still hosts tasks.
+        """
+        node = self.node(node_id)
+        if not node.available:
+            raise ValueError(f"node {node_id} is already offline")
+        if node.task_shares:
+            raise ValueError(
+                f"cannot deactivate node {node_id}: it still hosts tasks "
+                f"{sorted(node.task_shares)} (kill or requeue them first)"
+            )
+        node.available = False
+        agg = self._agg[node.gpu_model]
+        agg.total -= node.total_gpus
+        agg.free -= node.free_capacity
+        self.capacity_index.remove_node(node)
+        self._check()
+        return node
+
+    def activate_node(self, node_id: str) -> Node:
+        """Bring a node back online: restore its capacity and re-index it.
+
+        Raises
+        ------
+        ValueError
+            If the node is already online.
+        """
+        node = self.node(node_id)
+        if node.available:
+            raise ValueError(f"node {node_id} is already online")
+        node.available = True
+        agg = self._agg[node.gpu_model]
+        agg.total += node.total_gpus
+        agg.free += node.free_capacity
+        self.capacity_index.add_node(node)
+        self._check()
+        return node
 
     # ------------------------------------------------------------------
     # Convenience constructors

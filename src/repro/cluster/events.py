@@ -1,21 +1,64 @@
-"""Event types exchanged between the simulator and schedulers."""
+"""Event types exchanged between the simulator, schedulers and dynamics."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import List, Optional
+from typing import FrozenSet, List, Optional
 
 from .task import PodPlacement, Task
 
 
 class EventKind(int, Enum):
-    """Discrete-event kinds, ordered by processing priority at equal times."""
+    """Discrete-event kinds, ordered by processing priority at equal times.
+
+    The first four kinds are the original task-driven loop; the dynamics
+    kinds (``NODE_FAIL``/``NODE_REPAIR``/``NODE_DRAIN``/``CAPACITY_CHANGE``)
+    carry cluster-dynamics actions from a pre-generated fault schedule (see
+    :mod:`repro.dynamics`).  Dynamics kinds deliberately sort *after* the
+    task kinds at equal timestamps: a task finishing or arriving at the
+    exact instant a node vanishes is processed against the pre-outage
+    cluster, which is what makes the schedule-then-fail edge case (a task
+    placed and killed at the same timestamp) well defined.
+    """
 
     TASK_FINISH = 0      # releases resources first so arrivals can reuse them
     TASK_ARRIVAL = 1
     QUOTA_TICK = 2
     SAMPLE = 3
+    NODE_FAIL = 4        # unplanned node loss: rollback to last checkpoint
+    NODE_REPAIR = 5      # failed/drained node rejoins the fleet
+    NODE_DRAIN = 6       # planned maintenance: checkpoint-and-requeue
+    CAPACITY_CHANGE = 7  # elastic fleet / spot reclamation add or remove
+
+
+#: Event kinds injected by the cluster-dynamics subsystem.
+DYNAMICS_EVENT_KINDS: FrozenSet[EventKind] = frozenset(
+    {
+        EventKind.NODE_FAIL,
+        EventKind.NODE_REPAIR,
+        EventKind.NODE_DRAIN,
+        EventKind.CAPACITY_CHANGE,
+    }
+)
+
+
+@dataclass(frozen=True)
+class DynamicsAction:
+    """Payload of a dynamics event: one node going offline or online.
+
+    ``cause`` records which generator produced the outage (``"failure"``,
+    ``"drain"``, ``"reclaim"`` or ``"elastic"``); ``graceful`` selects the
+    kill semantics for tasks running on the node (checkpoint-and-requeue
+    for planned events vs rollback-to-last-checkpoint for abrupt ones);
+    ``online`` marks the second half of an outage window (the node
+    rejoining the fleet).
+    """
+
+    node_id: str
+    cause: str = "failure"
+    graceful: bool = False
+    online: bool = False
 
 
 @dataclass(order=True)
@@ -27,6 +70,8 @@ class Event:
     seq: int
     task: Optional[Task] = field(default=None, compare=False)
     epoch: int = field(default=0, compare=False)
+    #: dynamics payload (:class:`DynamicsAction`) for dynamics kinds
+    payload: Optional[DynamicsAction] = field(default=None, compare=False)
 
 
 @dataclass

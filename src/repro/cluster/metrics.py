@@ -7,6 +7,20 @@ Definitions follow Section 4.2 of the paper:
   preempted spot tasks).
 * **Eviction rate** ``e`` — number of evictions divided by number of runs
   of spot tasks (HP tasks are never evicted, so their rate is 0).
+
+Reliability metrics (``docs/reliability.md``) extend the bundle for runs
+with cluster dynamics attached:
+
+* **Goodput GPU-hours** — GPU-hours of work that landed in completed
+  tasks, vs **paid GPU-hours**, the time-integral of the *online* fleet
+  capacity over the run.  Their ratio is the goodput fraction.
+* **Restarts per task** — extra execution attempts beyond the first
+  (scheduler evictions and dynamics kills combined).
+* **Lost GPU-hours** — progress destroyed by rollbacks to the last
+  checkpoint when a node vanished under a running task.
+* **HP kills** — HP tasks interrupted by dynamics; the scheduler never
+  preempts HP tasks, so under churn every HP interruption is an SLO
+  violation charged to the infrastructure.
 """
 
 from __future__ import annotations
@@ -63,6 +77,65 @@ class TaskClassMetrics:
 
 
 @dataclass
+class DynamicsCounts:
+    """Raw event counters the simulator accumulates for a dynamics run."""
+
+    node_failures: int = 0
+    node_repairs: int = 0
+    node_drains: int = 0
+    capacity_changes: int = 0
+
+
+@dataclass
+class ReliabilityMetrics:
+    """Churn/efficiency metrics for runs under cluster dynamics.
+
+    All fields are well defined (and mostly zero) for static runs too, so
+    a run with an empty :class:`~repro.dynamics.DynamicsSpec` is
+    bit-identical to one with no dynamics attached.
+    """
+
+    node_failures: int = 0
+    node_repairs: int = 0
+    node_drains: int = 0
+    capacity_changes: int = 0
+    #: runs interrupted because their node failed/drained/was reclaimed
+    tasks_killed: int = 0
+    #: HP-task interruptions — SLO violations under churn
+    hp_tasks_killed: int = 0
+    #: mean extra execution attempts beyond the first, over all tasks
+    restarts_per_task: float = 0.0
+    #: checkpoint-rollback losses caused by dynamics kills
+    lost_gpu_hours: float = 0.0
+    #: GPU-hours of work embodied in completed tasks
+    goodput_gpu_hours: float = 0.0
+    #: time-integral of online fleet capacity over the run
+    paid_gpu_hours: float = 0.0
+
+    @property
+    def goodput_fraction(self) -> float:
+        """Goodput over paid GPU-hours (NaN when nothing was paid for)."""
+        if self.paid_gpu_hours <= 0:
+            return float("nan")
+        return self.goodput_gpu_hours / self.paid_gpu_hours
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "node_failures": self.node_failures,
+            "node_repairs": self.node_repairs,
+            "node_drains": self.node_drains,
+            "capacity_changes": self.capacity_changes,
+            "tasks_killed": self.tasks_killed,
+            "hp_tasks_killed": self.hp_tasks_killed,
+            "restarts_per_task": self.restarts_per_task,
+            "lost_gpu_hours": self.lost_gpu_hours,
+            "goodput_gpu_hours": self.goodput_gpu_hours,
+            "paid_gpu_hours": self.paid_gpu_hours,
+            "goodput_fraction": self.goodput_fraction,
+        }
+
+
+@dataclass
 class SimulationMetrics:
     """Full result bundle returned by a simulation run.
 
@@ -86,6 +159,7 @@ class SimulationMetrics:
     allocation_sample_times: List[float] = field(default_factory=list)
     makespan: float = 0.0
     unfinished_tasks: int = 0
+    reliability: ReliabilityMetrics = field(default_factory=ReliabilityMetrics)
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -94,11 +168,12 @@ class SimulationMetrics:
             "allocation_rate_mean": self.allocation_rate_mean,
             "makespan": self.makespan,
             "unfinished_tasks": self.unfinished_tasks,
+            "reliability": self.reliability.as_dict(),
         }
 
     def summary(self) -> str:
         """A compact, human-readable summary string."""
-        return (
+        text = (
             f"HP:   JCT={self.hp.jct_mean:,.1f}s  JCT-p99={self.hp.jct_p99:,.1f}s  "
             f"JQT={self.hp.jqt_mean:,.1f}s\n"
             f"SPOT: JCT={self.spot.jct_mean:,.1f}s  JQT={self.spot.jqt_mean:,.1f}s  "
@@ -106,6 +181,15 @@ class SimulationMetrics:
             f"allocation rate={self.allocation_rate_mean * 100:.2f}%  "
             f"makespan={self.makespan:,.0f}s  unfinished={self.unfinished_tasks}"
         )
+        rel = self.reliability
+        if rel.tasks_killed or rel.node_failures or rel.node_drains or rel.capacity_changes:
+            text += (
+                f"\nCHURN: failures={rel.node_failures} drains={rel.node_drains} "
+                f"capacity-events={rel.capacity_changes} kills={rel.tasks_killed} "
+                f"(HP {rel.hp_tasks_killed})  lost={rel.lost_gpu_hours:,.1f} GPUh  "
+                f"goodput={rel.goodput_fraction * 100:.1f}% of paid"
+            )
+        return text
 
 
 def compute_class_metrics(tasks: Iterable[Task]) -> TaskClassMetrics:
@@ -129,11 +213,47 @@ def compute_class_metrics(tasks: Iterable[Task]) -> TaskClassMetrics:
     )
 
 
+def compute_reliability(
+    tasks: Sequence[Task],
+    counts: Optional[DynamicsCounts] = None,
+    paid_gpu_hours: float = 0.0,
+) -> ReliabilityMetrics:
+    """Aggregate reliability metrics from task state plus event counters.
+
+    Task-derived figures (goodput, restarts, lost work, kill counts) come
+    straight from the tasks; event counters and the paid-capacity integral
+    are accumulated by the simulator and passed in (both default to zero
+    for direct metric computations outside a simulation run).
+    """
+    tasks = list(tasks)
+    counts = counts or DynamicsCounts()
+    goodput_seconds = sum(
+        t.duration * t.total_gpus for t in tasks if t.finish_time is not None
+    )
+    restarts = sum(t.restart_count for t in tasks)
+    return ReliabilityMetrics(
+        node_failures=counts.node_failures,
+        node_repairs=counts.node_repairs,
+        node_drains=counts.node_drains,
+        capacity_changes=counts.capacity_changes,
+        tasks_killed=sum(t.dynamics_kill_count for t in tasks),
+        hp_tasks_killed=sum(
+            t.dynamics_kill_count for t in tasks if t.task_type is TaskType.HP
+        ),
+        restarts_per_task=restarts / len(tasks) if tasks else 0.0,
+        lost_gpu_hours=sum(t.lost_gpu_seconds for t in tasks) / 3600.0,
+        goodput_gpu_hours=goodput_seconds / 3600.0,
+        paid_gpu_hours=paid_gpu_hours,
+    )
+
+
 def compute_metrics(
     tasks: Sequence[Task],
     allocation_series: Optional[Sequence[float]] = None,
     allocation_times: Optional[Sequence[float]] = None,
     makespan: float = 0.0,
+    dynamics_counts: Optional[DynamicsCounts] = None,
+    paid_gpu_hours: float = 0.0,
 ) -> SimulationMetrics:
     """Build a :class:`SimulationMetrics` bundle from finished simulation state."""
     hp_tasks = [t for t in tasks if t.task_type is TaskType.HP]
@@ -147,6 +267,7 @@ def compute_metrics(
         allocation_sample_times=list(allocation_times or []),
         makespan=makespan,
         unfinished_tasks=sum(1 for t in tasks if t.finish_time is None),
+        reliability=compute_reliability(tasks, dynamics_counts, paid_gpu_hours),
     )
     return metrics
 

@@ -24,6 +24,11 @@ class Node:
     num_gpus: int = 8
     cluster_label: str = "default"
 
+    #: whether the node is part of the schedulable fleet right now; cluster
+    #: dynamics (failures, drains, elastic capacity) toggle this through
+    #: ``Cluster.deactivate_node``/``activate_node`` — never flip it directly
+    #: on a cluster-owned node or the cached aggregates will drift
+    available: bool = True
     gpus: List[GPUDevice] = field(default_factory=list)
     #: task_id -> list of (gpu index, fraction) shares held on this node
     task_shares: Dict[str, List[Tuple[int, float]]] = field(default_factory=dict)
@@ -181,6 +186,8 @@ class Node:
         ValueError
             If the pod does not fit.
         """
+        if not self.available:
+            raise ValueError(f"node {self.node_id} is offline (failed/drained)")
         g = task.gpus_per_pod if gpus_per_pod is None else gpus_per_pod
         free_before, hp_before, spot_before = self._free_cache, self.hp_gpus, self.spot_gpus
         if g < 1.0 - EPSILON:
@@ -250,6 +257,7 @@ class Node:
         return {
             "node_id": self.node_id,
             "model": self.gpu_model.value,
+            "available": self.available,
             "total_gpus": self.num_gpus,
             "idle_gpus": self.idle_gpus,
             "allocated": self.allocated_gpus,

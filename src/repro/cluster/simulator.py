@@ -18,6 +18,22 @@ Scheduler interface (duck-typed, see :class:`repro.schedulers.base.Scheduler`):
   optional notification hooks.
 * ``on_tick(cluster, now, pending)`` — periodic hook (spot-quota updates).
 * ``on_simulation_start(cluster, now)`` — optional setup hook.
+* ``on_node_down / on_node_up / on_task_killed`` — optional cluster-
+  dynamics hooks (node failures, maintenance drains, elastic capacity).
+
+Cluster dynamics
+----------------
+A :class:`~repro.dynamics.FaultInjector` (or the
+:class:`~repro.dynamics.DynamicsSpec` it wraps) can be attached via the
+``dynamics`` argument.  Its pre-generated schedule of node outages is
+pushed into the event heap up front, so a run is a pure function of
+``(tasks, seed, cluster spec, dynamics spec)`` regardless of worker
+count.  When a node goes offline, every task running on it is killed
+through the normal release paths — rolled back to its last checkpoint
+(failures, reclamations) or checkpointed in place (planned drains) — and
+requeued; the node is excluded from all placement candidates until its
+repair event restores it.  Reliability accounting (kills, lost work, the
+paid-capacity integral) lands in ``SimulationMetrics.reliability``.
 
 Hot-path design
 ---------------
@@ -44,8 +60,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from .cluster import Cluster
-from .events import Event, EventKind, SchedulingDecision
-from .metrics import SimulationMetrics, compute_metrics
+from .events import DYNAMICS_EVENT_KINDS, DynamicsAction, Event, EventKind, SchedulingDecision
+from .metrics import DynamicsCounts, SimulationMetrics, compute_metrics
 from .pending import PendingQueue
 from .task import RunLog, Task, TaskState
 
@@ -106,10 +122,15 @@ class ClusterSimulator:
         cluster: Cluster,
         scheduler,
         config: Optional[SimulatorConfig] = None,
+        dynamics=None,
     ):
         self.cluster = cluster
         self.scheduler = scheduler
         self.config = config or SimulatorConfig()
+        #: optional cluster-dynamics injector; anything exposing
+        #: ``schedule(cluster) -> DynamicsSchedule`` works (duck-typed so
+        #: the cluster package never imports :mod:`repro.dynamics`)
+        self.dynamics = dynamics
         self.now: float = 0.0
         self._events: List[Event] = []
         self._seq = itertools.count()
@@ -118,9 +139,15 @@ class ClusterSimulator:
         self.all_tasks: List[Task] = []
         #: run epoch per task; finish events from stale epochs are ignored
         self._epochs: Dict[str, int] = {}
-        #: events in the heap that are not QUOTA_TICKs; lets the tick
-        #: handler decide liveness without scanning the heap
-        self._non_tick_events: int = 0
+        #: per-kind event counters (arrivals+finishes / dynamics / ticks) so
+        #: liveness decisions never scan the heap
+        self._task_events: int = 0
+        self._dynamics_events: int = 0
+        self._tick_events: int = 0
+        #: dynamics bookkeeping: event counters and the paid-capacity integral
+        self.dynamics_counts = DynamicsCounts()
+        self._paid_gpu_seconds: float = 0.0
+        self._capacity_accrued_until: Optional[float] = None
         self.allocation_samples: List[float] = []
         self.allocation_sample_times: List[float] = []
         self._finished_count = 0
@@ -148,15 +175,31 @@ class ClusterSimulator:
     # ------------------------------------------------------------------
     # Event plumbing
     # ------------------------------------------------------------------
-    def _push(self, time: float, kind: EventKind, task: Optional[Task] = None, epoch: int = 0) -> None:
-        if kind is not EventKind.QUOTA_TICK:
-            self._non_tick_events += 1
-        heapq.heappush(self._events, Event(time=time, kind=kind, seq=next(self._seq), task=task, epoch=epoch))
+    def _count_event(self, kind: EventKind, delta: int) -> None:
+        if kind is EventKind.QUOTA_TICK:
+            self._tick_events += delta
+        elif kind in DYNAMICS_EVENT_KINDS:
+            self._dynamics_events += delta
+        else:
+            self._task_events += delta
+
+    def _push(
+        self,
+        time: float,
+        kind: EventKind,
+        task: Optional[Task] = None,
+        epoch: int = 0,
+        payload: Optional[DynamicsAction] = None,
+    ) -> None:
+        self._count_event(kind, +1)
+        heapq.heappush(
+            self._events,
+            Event(time=time, kind=kind, seq=next(self._seq), task=task, epoch=epoch, payload=payload),
+        )
 
     def _pop(self) -> Event:
         event = heapq.heappop(self._events)
-        if event.kind is not EventKind.QUOTA_TICK:
-            self._non_tick_events -= 1
+        self._count_event(event.kind, -1)
         return event
 
     def submit(self, task: Task) -> None:
@@ -176,16 +219,29 @@ class ClusterSimulator:
         """Run the simulation until the trace drains (or ``max_time`` hits)."""
         if not self._events:
             raise SimulationError("no tasks submitted")
+        self._inject_dynamics()
         # The event list is a heap ordered by time first: the root is the
         # earliest event, no O(n) scan needed.
         first_time = self._events[0].time
         self.now = first_time
+        self._capacity_accrued_until = first_time
         if hasattr(self.scheduler, "on_simulation_start"):
             self.scheduler.on_simulation_start(self.cluster, self.now)
         if self.config.tick_interval > 0:
             self._push(first_time + self.config.tick_interval, EventKind.QUOTA_TICK)
 
         while self._events:
+            # A fault schedule can stretch far past the trace: once no task
+            # work remains anywhere (no waiting or running tasks and no
+            # future arrivals/finishes), trailing dynamics events cannot
+            # affect any result and are abandoned unprocessed.
+            if (
+                self._events[0].kind in DYNAMICS_EVENT_KINDS
+                and self._task_events == 0
+                and not self.pending
+                and not self.cluster.running_tasks
+            ):
+                break
             event = self._pop()
             if self.config.max_time is not None and event.time > self.config.max_time:
                 break
@@ -196,8 +252,11 @@ class ClusterSimulator:
                 self._handle_finish(event.task, event.epoch)
             elif event.kind is EventKind.QUOTA_TICK:
                 self._handle_tick()
+            elif event.kind in DYNAMICS_EVENT_KINDS:
+                self._handle_dynamics(event)
             # SAMPLE events are folded into ticks.
 
+        self._accrue_capacity()
         return self.collect_metrics()
 
     # ------------------------------------------------------------------
@@ -246,15 +305,150 @@ class ClusterSimulator:
         # stop once the only remaining work is pending tasks that can never
         # be scheduled (nothing running, no future arrivals/finishes, and the
         # tick made no progress) — otherwise the loop would tick forever.
-        has_other_events = self._non_tick_events > 0
+        # Future dynamics events do not keep ticks alive on their own: a
+        # repair that unblocks stuck pending work revives the tick itself.
+        has_task_events = self._task_events > 0
         stuck = (
             bool(self.pending)
             and not self.cluster.running_tasks
-            and not has_other_events
+            and not has_task_events
             and len(self.pending) == pending_before
         )
-        if (self.pending or self.cluster.running_tasks or has_other_events) and not stuck:
+        if (self.pending or self.cluster.running_tasks or has_task_events) and not stuck:
             self._push(self.now + self.config.tick_interval, EventKind.QUOTA_TICK)
+
+    # ------------------------------------------------------------------
+    # Cluster dynamics
+    # ------------------------------------------------------------------
+    def _inject_dynamics(self) -> None:
+        """Materialise the fault schedule into the event heap (run start).
+
+        Nodes offline from the very beginning (elastic fleets that grow
+        later) are deactivated before ``on_simulation_start`` so the
+        scheduler's first view of the cluster already reflects them.
+        """
+        if self.dynamics is None:
+            return
+        schedule = self.dynamics.schedule(self.cluster)
+        for node_id in schedule.initial_offline:
+            node = self.cluster.node(node_id)
+            if node.available:
+                self.cluster.deactivate_node(node_id)
+        for time, kind, action in schedule.events:
+            self._push(time, kind, payload=action)
+
+    def _handle_dynamics(self, event: Event) -> None:
+        """Apply one scheduled dynamics action (node leaving or rejoining)."""
+        action = event.payload
+        node = self.cluster.node(action.node_id)
+        if event.kind is EventKind.CAPACITY_CHANGE:
+            self.dynamics_counts.capacity_changes += 1
+        if action.online:
+            if node.available:
+                return  # defensive: duplicate activation in a schedule
+            if event.kind is EventKind.NODE_REPAIR:
+                self.dynamics_counts.node_repairs += 1
+            self._accrue_capacity()
+            self.cluster.activate_node(node.node_id)
+            if hasattr(self.scheduler, "on_node_up"):
+                self.scheduler.on_node_up(node, self.cluster, self.now)
+            # Restored capacity may unblock waiting tasks immediately.
+            self._schedule_pending()
+        else:
+            if not node.available:
+                return  # defensive: overlapping outages collapse to one
+            if event.kind is EventKind.NODE_FAIL:
+                self.dynamics_counts.node_failures += 1
+            elif event.kind is EventKind.NODE_DRAIN:
+                self.dynamics_counts.node_drains += 1
+            self._kill_tasks_on_node(node, graceful=action.graceful)
+            self._accrue_capacity()
+            self.cluster.deactivate_node(node.node_id)
+            if hasattr(self.scheduler, "on_node_down"):
+                self.scheduler.on_node_down(node, self.cluster, self.now)
+            # Displaced tasks may fit on the surviving fleet right away.
+            self._schedule_pending()
+        self._ensure_tick()
+
+    def _kill_tasks_on_node(self, node, graceful: bool) -> None:
+        """Kill (and requeue) every task holding GPUs on ``node``."""
+        # Snapshot: _kill_task mutates node.task_shares via release_task.
+        for task_id in list(node.task_shares):
+            task = self.cluster.running_tasks.get(task_id)
+            if task is None:
+                raise SimulationError(
+                    f"node {node.node_id} holds shares of unknown task {task_id}"
+                )
+            self._kill_task(task, graceful=graceful)
+
+    def _kill_task(self, task: Task, graceful: bool) -> None:
+        """End a running task because a node under it vanished, and requeue it.
+
+        Deliberately parallel to — not shared with — :meth:`_evict`: kills
+        may hit HP tasks, never touch the spot success/eviction counters or
+        the node eviction history (those model scheduler behaviour, not
+        infrastructure faults), support the ``graceful`` drain semantics
+        (checkpoint in place, no work lost) alongside the abrupt rollback
+        to the last checkpoint milestone, and exclude restart overhead
+        from banked progress; ``_evict`` keeps the paper's exact eviction
+        arithmetic, which the recorded benchmark references pin
+        bit-for-bit.
+        """
+        run = task.run_logs[-1]
+        # A task placed with a start delay can die before its run begins,
+        # and the first `run.overhead` seconds of wall time are setup /
+        # checkpoint reload, not task progress.
+        elapsed = max(0.0, self.now - run.start)
+        worked = max(0.0, elapsed - run.overhead)
+        progress = min(task.duration, task.completed_work + worked)
+        if graceful:
+            saved = progress
+        else:
+            ckpt_idx = task.highest_checkpoint_before(progress)
+            saved = task.checkpoints[ckpt_idx] if ckpt_idx >= 0 else 0.0
+        new_completed = min(task.duration, max(task.completed_work, saved))
+        lost = max(0.0, progress - new_completed)
+        run.end = self.now
+        run.killed = True
+        run.checkpoint_index = task.highest_checkpoint_before(new_completed)
+        task.completed_work = new_completed
+        task.dynamics_kill_count += 1
+        task.lost_gpu_seconds += lost * task.total_gpus
+        self.cluster.record_execution(task, elapsed)
+        self.cluster.remove_task(task)
+        task.state = TaskState.PENDING
+        task.queue_enter_time = self.now
+        self.pending.append(task)
+        if hasattr(self.scheduler, "on_task_killed"):
+            self.scheduler.on_task_killed(task, self.cluster, self.now)
+
+    def _ensure_tick(self) -> None:
+        """Revive the periodic tick if work exists but no tick is scheduled.
+
+        The tick chain dies when the system looks permanently stuck; a
+        dynamics event that changes capacity (or requeues tasks) can make
+        the system live again and must restart it.
+        """
+        if (
+            self.config.tick_interval > 0
+            and self._tick_events == 0
+            and (self.pending or self.cluster.running_tasks or self._task_events > 0)
+        ):
+            self._push(self.now + self.config.tick_interval, EventKind.QUOTA_TICK)
+
+    def _accrue_capacity(self) -> None:
+        """Fold the online-capacity integral forward to the current time.
+
+        Called before every fleet-size change and once at run end, so
+        ``paid_gpu_hours`` integrates the capacity that was actually
+        online over each interval.
+        """
+        if self._capacity_accrued_until is None:
+            return
+        span = self.now - self._capacity_accrued_until
+        if span > 0:
+            self._paid_gpu_seconds += self.cluster.total_gpus() * span
+            self._capacity_accrued_until = self.now
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -322,8 +516,9 @@ class ClusterSimulator:
         start = self.now + start_delay
         self.cluster.place_task(task, placements)
         task.total_queue_time += max(0.0, self.now - task.queue_enter_time)
-        overhead = self.config.restart_overhead if task.eviction_count > 0 else 0.0
-        task.run_logs.append(RunLog(start=start))
+        restarted = task.eviction_count > 0 or task.dynamics_kill_count > 0
+        overhead = self.config.restart_overhead if restarted else 0.0
+        task.run_logs.append(RunLog(start=start, overhead=overhead))
         task.state = TaskState.RUNNING
         if task.first_start_time is None:
             task.first_start_time = start
@@ -370,6 +565,8 @@ class ClusterSimulator:
             allocation_series=self.allocation_samples,
             allocation_times=self.allocation_sample_times,
             makespan=self.now - (min(t.submit_time for t in self.all_tasks) if self.all_tasks else 0.0),
+            dynamics_counts=self.dynamics_counts,
+            paid_gpu_hours=self._paid_gpu_seconds / 3600.0,
         )
 
 
@@ -378,6 +575,8 @@ def run_simulation(
     scheduler,
     tasks: Sequence[Task],
     config: Optional[SimulatorConfig] = None,
+    dynamics=None,
+    dynamics_seed: int = 0,
 ) -> SimulationMetrics:
     """Build a simulator, submit ``tasks`` and run the trace to completion.
 
@@ -395,7 +594,19 @@ def run_simulation(
     >>> metrics = run_simulation(cluster, GFSScheduler(org_history=trace.org_history),
     ...                          trace.sorted_tasks())
     >>> print(metrics.summary())
+
+    ``dynamics`` optionally attaches cluster dynamics: pass a
+    :class:`~repro.dynamics.FaultInjector`, or a
+    :class:`~repro.dynamics.DynamicsSpec` plus ``dynamics_seed`` and the
+    injector is built here (the schedule is then a pure function of the
+    spec, the seed and the cluster's node list).
     """
-    simulator = ClusterSimulator(cluster, scheduler, config)
+    if dynamics is not None and not hasattr(dynamics, "schedule"):
+        # A bare DynamicsSpec: bind it to the seed.  Imported lazily so the
+        # cluster package stays free of a dynamics dependency.
+        from ..dynamics import FaultInjector
+
+        dynamics = FaultInjector(dynamics, seed=dynamics_seed)
+    simulator = ClusterSimulator(cluster, scheduler, config, dynamics=dynamics)
     simulator.submit_all(tasks)
     return simulator.run()

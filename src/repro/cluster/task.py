@@ -58,6 +58,11 @@ class RunLog:
     end: Optional[float] = None
     checkpoint_index: int = -1
     evicted: bool = False
+    #: run ended because the hosting node failed/drained/was reclaimed
+    killed: bool = False
+    #: restart overhead paid at the start of this run (setup/checkpoint
+    #: reload); wall time that produced no task progress
+    overhead: float = 0.0
 
 
 @dataclass
@@ -124,6 +129,11 @@ class Task:
     placements: List[PodPlacement] = field(default_factory=list)
     completed_work: float = 0.0          # work preserved by checkpoints
     eviction_count: int = 0
+    #: runs ended by cluster dynamics (node failure/drain/reclaim); unlike
+    #: ``eviction_count`` this can be non-zero for HP tasks
+    dynamics_kill_count: int = 0
+    #: GPU-seconds of progress lost to rollbacks caused by dynamics kills
+    lost_gpu_seconds: float = 0.0
     queue_enter_time: float = 0.0        # start of the current queuing segment
     total_queue_time: float = 0.0
     first_start_time: Optional[float] = None
@@ -169,6 +179,11 @@ class Task:
     def run_count(self) -> int:
         """Number of execution attempts so far."""
         return len(self.run_logs)
+
+    @property
+    def restart_count(self) -> int:
+        """Extra execution attempts beyond the first (evictions + kills)."""
+        return max(0, len(self.run_logs) - 1)
 
     @property
     def is_running(self) -> bool:

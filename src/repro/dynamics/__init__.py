@@ -1,0 +1,33 @@
+"""Cluster dynamics: failures, drains and elastic capacity as events.
+
+This package makes fleet churn a first-class, deterministic part of the
+discrete-event simulation (see ``docs/reliability.md``):
+
+* :class:`DynamicsSpec` — declarative, picklable description of failure
+  rates, maintenance cadences, reclamation storms and elastic capacity.
+* :class:`FaultInjector` — binds a spec to a seed and pre-generates the
+  full outage schedule for a cluster, a pure function of
+  ``(spec, seed, node ids)``.
+* Named presets (``node_churn``, ``maintenance_wave``,
+  ``spot_reclaim_storm``, ``elastic_fleet``) registered for the chaos
+  scenarios and the CLI ``--dynamics`` flag.
+"""
+
+from .injector import DynamicsSchedule, FaultInjector, NodeOutage
+from .spec import DynamicsSpec, dynamics_names, get_dynamics, register_dynamics
+from . import presets  # noqa: F401  (registers the built-in presets)
+from .presets import ELASTIC_FLEET, MAINTENANCE_WAVE, NODE_CHURN, SPOT_RECLAIM_STORM
+
+__all__ = [
+    "DynamicsSchedule",
+    "DynamicsSpec",
+    "ELASTIC_FLEET",
+    "FaultInjector",
+    "MAINTENANCE_WAVE",
+    "NODE_CHURN",
+    "NodeOutage",
+    "SPOT_RECLAIM_STORM",
+    "dynamics_names",
+    "get_dynamics",
+    "register_dynamics",
+]

@@ -1,0 +1,250 @@
+"""Fault injection: turn a :class:`DynamicsSpec` into a concrete schedule.
+
+The injector pre-generates every outage *before* the simulation starts,
+from a seeded RNG that depends only on ``(spec, seed, node ids)``.  The
+simulator then replays the schedule as ordinary heap events, which is
+what keeps dynamics runs bit-identical at any experiment-engine worker
+count: nothing about the schedule depends on simulation order, scheduler
+choice or process layout.
+
+Per-node outage windows from the four generators (failures, drains,
+reclamations, elastic grow/shrink) are merged into disjoint intervals, so
+the simulator sees a clean alternation of one *down* and one *up* event
+per node and never needs reference counting.  The first window of a
+merged run decides the cause and kill semantics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..cluster.events import DynamicsAction, EventKind
+from .spec import DynamicsSpec
+
+#: event kind announcing a node leaving the fleet, by outage cause
+_DOWN_KIND: Dict[str, EventKind] = {
+    "failure": EventKind.NODE_FAIL,
+    "drain": EventKind.NODE_DRAIN,
+    "reclaim": EventKind.CAPACITY_CHANGE,
+    "elastic": EventKind.CAPACITY_CHANGE,
+}
+
+#: event kind announcing a node rejoining, by outage cause
+_UP_KIND: Dict[str, EventKind] = {
+    "failure": EventKind.NODE_REPAIR,
+    "drain": EventKind.NODE_REPAIR,
+    "reclaim": EventKind.CAPACITY_CHANGE,
+    "elastic": EventKind.CAPACITY_CHANGE,
+}
+
+#: causes whose kills let the task checkpoint in place (planned events)
+_GRACEFUL_CAUSES = frozenset({"drain", "elastic"})
+
+
+@dataclass(frozen=True)
+class NodeOutage:
+    """One offline window of one node (``end`` is ``inf`` when permanent)."""
+
+    node_id: str
+    start: float
+    end: float
+    cause: str
+
+    @property
+    def graceful(self) -> bool:
+        return self.cause in _GRACEFUL_CAUSES
+
+
+#: one simulator event: (time, kind, action)
+ScheduledEvent = Tuple[float, EventKind, DynamicsAction]
+
+
+@dataclass(frozen=True)
+class DynamicsSchedule:
+    """The fully materialised fault schedule for one cluster.
+
+    ``initial_offline`` nodes are deactivated before the first event is
+    processed (elastic fleets that grow later); ``events`` is sorted by
+    time and ready to push into the simulator's heap.  ``outages`` keeps
+    the merged per-node windows for inspection and tests.
+    """
+
+    initial_offline: Tuple[str, ...]
+    events: Tuple[ScheduledEvent, ...]
+    outages: Tuple[NodeOutage, ...]
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the canonical schedule (reproducibility checks)."""
+        payload = [
+            list(self.initial_offline),
+            [[t, k.value, dataclasses.asdict(a)] for t, k, a in self.events],
+        ]
+        text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class FaultInjector:
+    """A :class:`DynamicsSpec` bound to a seed, ready to schedule a cluster.
+
+    Example
+    -------
+    >>> injector = FaultInjector(DynamicsSpec(node_mtbf_hours=50.0), seed=7)
+    >>> schedule = injector.schedule(cluster)
+    >>> time, kind, action = schedule.events[0]
+    >>> kind
+    <EventKind.NODE_FAIL: 4>
+    """
+
+    def __init__(self, spec: DynamicsSpec, seed: int = 0):
+        self.spec = spec
+        self.seed = int(seed)
+        self._cache: Dict[Tuple[str, ...], DynamicsSchedule] = {}
+
+    # ------------------------------------------------------------------
+    def schedule(self, cluster) -> DynamicsSchedule:
+        """The schedule for ``cluster`` (node list in construction order)."""
+        return self.build_schedule(tuple(n.node_id for n in cluster.nodes))
+
+    def build_schedule(self, node_ids: Sequence[str]) -> DynamicsSchedule:
+        """Build (and memoise) the schedule for an explicit node list."""
+        key = tuple(node_ids)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = self._cache[key] = self._generate(key)
+        return cached
+
+    # ------------------------------------------------------------------
+    def _rng(self, node_ids: Tuple[str, ...]) -> random.Random:
+        """Seeded RNG: a pure function of (spec, seed, node ids).
+
+        Seeding goes through SHA-256 of a canonical JSON payload instead
+        of ``hash()`` so schedules are identical across processes (string
+        hash randomisation) and Python versions.
+        """
+        payload = {
+            "spec": self.spec.descriptor(),
+            "seed": self.seed,
+            "nodes": list(node_ids),
+        }
+        text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        digest = hashlib.sha256(text.encode("utf-8")).digest()
+        return random.Random(int.from_bytes(digest[:8], "big"))
+
+    def _generate(self, node_ids: Tuple[str, ...]) -> DynamicsSchedule:
+        spec = self.spec
+        rng = self._rng(node_ids)
+        n = len(node_ids)
+        horizon = spec.horizon_hours * 3600.0
+        raw: List[NodeOutage] = []
+
+        # Elastic growth tranche: the tail of the fleet starts offline.
+        grow_count = int(round(n * spec.offline_at_start_fraction))
+        if grow_count:
+            join = spec.grow_at_hours * 3600.0 if spec.grow_at_hours > 0 else math.inf
+            for node_id in node_ids[n - grow_count:]:
+                raw.append(NodeOutage(node_id, 0.0, join, "elastic"))
+
+        # Permanent shrink: a tranche just ahead of the growth tranche.
+        if spec.shrink_at_hours > 0 and spec.shrink_fraction > 0:
+            shrink_count = int(round(n * spec.shrink_fraction))
+            lo = max(0, n - grow_count - shrink_count)
+            for node_id in node_ids[lo: n - grow_count]:
+                raw.append(NodeOutage(node_id, spec.shrink_at_hours * 3600.0, math.inf, "elastic"))
+
+        # Random failures: per-node Poisson process with jittered repairs.
+        if spec.node_mtbf_hours > 0:
+            rate = 1.0 / (spec.node_mtbf_hours * 3600.0)
+            repair_mean = spec.repair_hours * 3600.0
+            for node_id in node_ids:
+                t = rng.expovariate(rate)
+                while t < horizon:
+                    jitter = 1.0 + spec.repair_jitter * rng.uniform(-1.0, 1.0)
+                    repair = max(60.0, repair_mean * jitter)
+                    raw.append(NodeOutage(node_id, t, t + repair, "failure"))
+                    t = t + repair + rng.expovariate(rate)
+
+        # Maintenance drains: rotating contiguous blocks, fixed cadence.
+        if spec.drain_period_hours > 0 and spec.drain_fraction > 0:
+            block = max(1, int(round(n * spec.drain_fraction)))
+            duration = spec.drain_duration_hours * 3600.0
+            t = spec.drain_start_hours * 3600.0
+            wave = 0
+            while t < horizon:
+                for j in range(block):
+                    node_id = node_ids[(wave * block + j) % n]
+                    raw.append(NodeOutage(node_id, t, t + duration, "drain"))
+                wave += 1
+                t += spec.drain_period_hours * 3600.0
+
+        # Spot reclamation storms: seeded random samples, fixed cadence.
+        if spec.reclaim_period_hours > 0 and spec.reclaim_fraction > 0:
+            count = max(1, int(round(n * spec.reclaim_fraction)))
+            outage = spec.reclaim_outage_hours * 3600.0
+            t = spec.reclaim_start_hours * 3600.0
+            while t < horizon:
+                for index in sorted(rng.sample(range(n), min(count, n))):
+                    raw.append(NodeOutage(node_ids[index], t, t + outage, "reclaim"))
+                t += spec.reclaim_period_hours * 3600.0
+
+        outages = self._merge(raw)
+        return self._materialise(node_ids, outages)
+
+    @staticmethod
+    def _merge(raw: List[NodeOutage]) -> List[NodeOutage]:
+        """Merge overlapping windows per node into disjoint outages.
+
+        The earliest window of an overlapping run wins the cause (and with
+        it the graceful/abrupt kill semantics at the down edge).
+        """
+        by_node: Dict[str, List[NodeOutage]] = {}
+        for outage in raw:
+            by_node.setdefault(outage.node_id, []).append(outage)
+        merged: List[NodeOutage] = []
+        for node_id, windows in by_node.items():
+            windows.sort(key=lambda w: (w.start, w.end))
+            current = windows[0]
+            for window in windows[1:]:
+                if window.start <= current.end:
+                    if window.end > current.end:
+                        current = dataclasses.replace(current, end=window.end)
+                else:
+                    merged.append(current)
+                    current = window
+            merged.append(current)
+        return merged
+
+    @staticmethod
+    def _materialise(
+        node_ids: Tuple[str, ...], outages: List[NodeOutage]
+    ) -> DynamicsSchedule:
+        order = {node_id: i for i, node_id in enumerate(node_ids)}
+        initial: List[str] = []
+        events: List[ScheduledEvent] = []
+        for outage in outages:
+            down_action = DynamicsAction(
+                node_id=outage.node_id,
+                cause=outage.cause,
+                graceful=outage.graceful,
+                online=False,
+            )
+            if outage.start <= 0.0:
+                initial.append(outage.node_id)
+            else:
+                events.append((outage.start, _DOWN_KIND[outage.cause], down_action))
+            if math.isfinite(outage.end):
+                up_action = dataclasses.replace(down_action, online=True)
+                events.append((outage.end, _UP_KIND[outage.cause], up_action))
+        initial.sort(key=order.__getitem__)
+        events.sort(key=lambda e: (e[0], e[1].value, order[e[2].node_id], e[2].online))
+        outages_sorted = sorted(outages, key=lambda o: (o.start, order[o.node_id]))
+        return DynamicsSchedule(
+            initial_offline=tuple(initial),
+            events=tuple(events),
+            outages=tuple(outages_sorted),
+        )

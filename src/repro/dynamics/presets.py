@@ -1,0 +1,67 @@
+"""Named dynamics presets backing the chaos scenario catalog.
+
+Each preset is a :class:`~repro.dynamics.DynamicsSpec` registered under a
+stable name, usable three ways:
+
+* through the chaos scenarios (``node_churn`` & co. in the workload
+  scenario registry pair each preset with a workload),
+* attached to *any* scenario — including ``trace:<path>`` replays — via
+  the CLI's ``sweep --dynamics <name>`` flag, and
+* directly: ``run_simulation(..., dynamics=get_dynamics("node_churn"),
+  dynamics_seed=7)``.
+
+Intensities are sized so a small-scale run (32-64 nodes, 16-24 hours)
+sees a handful of waves/failures without collapsing: tasks keep
+completing, which is what the conservation tests require.
+"""
+
+from __future__ import annotations
+
+from .spec import DynamicsSpec, register_dynamics
+
+#: Random node failures: per-node MTBF of 50h (~2% of the fleet failing
+#: per hour), repairs around two hours with +-50% jitter.
+NODE_CHURN = register_dynamics(
+    DynamicsSpec(
+        name="node_churn",
+        node_mtbf_hours=50.0,
+        repair_hours=2.0,
+        repair_jitter=0.5,
+    )
+)
+
+#: Rolling maintenance: every 12h a rotating eighth of the fleet drains
+#: gracefully for 3h, first wave at hour 5.
+MAINTENANCE_WAVE = register_dynamics(
+    DynamicsSpec(
+        name="maintenance_wave",
+        drain_period_hours=12.0,
+        drain_fraction=0.125,
+        drain_duration_hours=3.0,
+        drain_start_hours=5.0,
+    )
+)
+
+#: Cloud spot reclamation: every 8h a random quarter of the fleet is
+#: yanked for 1.5h, first storm at hour 4.
+SPOT_RECLAIM_STORM = register_dynamics(
+    DynamicsSpec(
+        name="spot_reclaim_storm",
+        reclaim_period_hours=8.0,
+        reclaim_fraction=0.25,
+        reclaim_outage_hours=1.5,
+        reclaim_start_hours=4.0,
+    )
+)
+
+#: Elastic fleet: a quarter of the nodes join at hour 6 and a tenth is
+#: gracefully retired for good at hour 18.
+ELASTIC_FLEET = register_dynamics(
+    DynamicsSpec(
+        name="elastic_fleet",
+        offline_at_start_fraction=0.25,
+        grow_at_hours=6.0,
+        shrink_at_hours=18.0,
+        shrink_fraction=0.10,
+    )
+)

@@ -1,0 +1,164 @@
+"""Declarative cluster-dynamics specifications.
+
+A :class:`DynamicsSpec` describes *how* a fleet misbehaves — random node
+failures with repair times, planned maintenance drains, spot-capacity
+reclamation storms and elastic grow/shrink — without referencing any
+concrete cluster.  Binding a spec to a seed yields a
+:class:`~repro.dynamics.injector.FaultInjector`, which pre-generates the
+full outage schedule for a cluster's node list; the simulator replays
+that schedule as first-class events.
+
+Determinism contract
+--------------------
+The generated schedule is a pure function of ``(spec, seed, node ids)``:
+no wall clock, no process state, no hash randomisation (the RNG is seeded
+from a SHA-256 of the canonical spec payload).  Two consequences:
+
+* results are bit-identical at any experiment-engine worker count, and
+* a spec's :meth:`descriptor` can stand in for the schedule in engine
+  cache keys (see ``Scenario.cache_descriptor``) — editing any knob
+  invalidates exactly the cached cells it affects.
+
+Specs are frozen dataclasses with only JSON-able fields, so they pickle
+into worker processes and canonicalise for cache keying.  Named presets
+(used by the chaos scenarios and the CLI ``--dynamics`` flag) live in
+:mod:`repro.dynamics.presets` and are looked up with :func:`get_dynamics`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class DynamicsSpec:
+    """Parameters of the cluster-dynamics generators (all off by default).
+
+    An all-defaults spec generates *no* events: attaching it to a
+    simulation is bit-identical to attaching nothing (property-tested in
+    ``tests/test_dynamics_properties.py``).
+
+    Example
+    -------
+    >>> spec = DynamicsSpec(name="churny", node_mtbf_hours=50.0)
+    >>> injector = spec.injector(seed=7)
+    >>> schedule = injector.schedule(cluster)   # deterministic in (spec, 7, nodes)
+    """
+
+    name: str = "dynamics"
+
+    # --- random node failures (unplanned, rollback-to-checkpoint) -----
+    #: mean time between failures per node, hours; 0 disables failures
+    node_mtbf_hours: float = 0.0
+    #: mean repair time, hours
+    repair_hours: float = 2.0
+    #: relative +- jitter applied to each repair time
+    repair_jitter: float = 0.5
+
+    # --- planned maintenance drains (graceful checkpoint-and-requeue) -
+    #: one drain wave every this many hours; 0 disables drains
+    drain_period_hours: float = 0.0
+    #: fraction of the fleet drained per wave (rotating blocks)
+    drain_fraction: float = 0.0
+    #: how long each drained node stays out, hours
+    drain_duration_hours: float = 4.0
+    #: start of the first wave, hours
+    drain_start_hours: float = 8.0
+
+    # --- spot capacity reclamation storms (abrupt) --------------------
+    #: one reclamation wave every this many hours; 0 disables
+    reclaim_period_hours: float = 0.0
+    #: fraction of the fleet reclaimed per wave (seeded random sample)
+    reclaim_fraction: float = 0.0
+    #: outage length of a reclaimed node, hours
+    reclaim_outage_hours: float = 1.0
+    #: start of the first wave, hours
+    reclaim_start_hours: float = 6.0
+
+    # --- elastic fleet (planned grow/shrink) --------------------------
+    #: fraction of the fleet offline from t=0 (the growth tranche)
+    offline_at_start_fraction: float = 0.0
+    #: when the growth tranche comes online, hours; 0 = never
+    grow_at_hours: float = 0.0
+    #: when a tranche is permanently removed, hours; 0 = no shrink
+    shrink_at_hours: float = 0.0
+    #: fraction of the fleet removed at ``shrink_at_hours`` (graceful)
+    shrink_fraction: float = 0.0
+
+    # --- scope --------------------------------------------------------
+    #: events are generated for the first ``horizon_hours`` of simulated
+    #: time (repairs may complete past it); size it to cover the trace
+    horizon_hours: float = 168.0
+    #: extra salt folded into the schedule RNG seed
+    seed_salt: int = 0
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "node_mtbf_hours", "repair_hours", "repair_jitter",
+            "drain_period_hours", "drain_duration_hours", "drain_start_hours",
+            "reclaim_period_hours", "reclaim_outage_hours", "reclaim_start_hours",
+            "grow_at_hours", "shrink_at_hours", "horizon_hours",
+        ):
+            if getattr(self, field_name) < 0:
+                raise ValueError(f"{field_name} must be >= 0")
+        for field_name in (
+            "drain_fraction", "reclaim_fraction",
+            "offline_at_start_fraction", "shrink_fraction",
+        ):
+            value = getattr(self, field_name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{field_name} must be in [0, 1], got {value!r}")
+        if self.offline_at_start_fraction + self.shrink_fraction > 1.0:
+            raise ValueError("growth tranche plus shrink tranche exceed the fleet")
+
+    # ------------------------------------------------------------------
+    def is_empty(self) -> bool:
+        """Whether this spec can generate any event at all."""
+        return (
+            self.node_mtbf_hours == 0.0
+            and (self.drain_period_hours == 0.0 or self.drain_fraction == 0.0)
+            and (self.reclaim_period_hours == 0.0 or self.reclaim_fraction == 0.0)
+            and self.offline_at_start_fraction == 0.0
+            and (self.shrink_at_hours == 0.0 or self.shrink_fraction == 0.0)
+        )
+
+    def descriptor(self) -> Dict[str, object]:
+        """Canonical JSON-able payload for cache keys and provenance."""
+        return dataclasses.asdict(self)
+
+    def injector(self, seed: int = 0):
+        """Bind this spec to a seed (see :class:`~repro.dynamics.FaultInjector`)."""
+        from .injector import FaultInjector
+
+        return FaultInjector(self, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Named-preset registry (chaos scenarios, CLI --dynamics)
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, DynamicsSpec] = {}
+
+
+def register_dynamics(spec: DynamicsSpec, replace_existing: bool = False) -> DynamicsSpec:
+    """Add a dynamics preset to the global registry (name must be unique)."""
+    if spec.name in _REGISTRY and not replace_existing:
+        raise ValueError(f"dynamics preset {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_dynamics(name: str) -> DynamicsSpec:
+    """Look a dynamics preset up by (case/dash-insensitive) name."""
+    key = name.lower().replace("-", "_")
+    if key not in _REGISTRY:
+        raise KeyError(
+            f"unknown dynamics preset {name!r}; expected one of {dynamics_names()}"
+        )
+    return _REGISTRY[key]
+
+
+def dynamics_names() -> List[str]:
+    """Sorted names of all registered dynamics presets."""
+    return sorted(_REGISTRY)

@@ -36,10 +36,11 @@ import time
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from ..cluster import SimulationMetrics, TaskClassMetrics
+from ..cluster import ReliabilityMetrics, SimulationMetrics, TaskClassMetrics
 
 #: Bump when simulation semantics change in a way that invalidates results.
-CACHE_VERSION = 1
+#: v2: SimulationMetrics gained the reliability bundle (cluster dynamics).
+CACHE_VERSION = 2
 
 
 # ----------------------------------------------------------------------
@@ -87,7 +88,8 @@ def metrics_from_payload(payload: Mapping[str, object]) -> SimulationMetrics:
     data = dict(payload)
     hp = TaskClassMetrics(**data.pop("hp"))
     spot = TaskClassMetrics(**data.pop("spot"))
-    return SimulationMetrics(hp=hp, spot=spot, **data)
+    reliability = ReliabilityMetrics(**(data.pop("reliability", None) or {}))
+    return SimulationMetrics(hp=hp, spot=spot, reliability=reliability, **data)
 
 
 # ----------------------------------------------------------------------
@@ -174,11 +176,19 @@ EXPORT_COLUMNS: Tuple[str, ...] = (
     "allocation_rate_mean",
     "makespan",
     "unfinished_tasks",
+    "tasks_killed",
+    "hp_tasks_killed",
+    "restarts_per_task",
+    "lost_gpu_hours",
+    "goodput_gpu_hours",
+    "paid_gpu_hours",
+    "goodput_fraction",
 )
 
 
 def flatten_metrics(metrics: SimulationMetrics) -> Dict[str, float]:
     """One flat row of headline metrics for CSV/JSON export."""
+    rel = metrics.reliability
     return {
         "hp_count": metrics.hp.count,
         "hp_jct_mean": metrics.hp.jct_mean,
@@ -191,6 +201,13 @@ def flatten_metrics(metrics: SimulationMetrics) -> Dict[str, float]:
         "allocation_rate_mean": metrics.allocation_rate_mean,
         "makespan": metrics.makespan,
         "unfinished_tasks": metrics.unfinished_tasks,
+        "tasks_killed": rel.tasks_killed,
+        "hp_tasks_killed": rel.hp_tasks_killed,
+        "restarts_per_task": rel.restarts_per_task,
+        "lost_gpu_hours": rel.lost_gpu_hours,
+        "goodput_gpu_hours": rel.goodput_gpu_hours,
+        "paid_gpu_hours": rel.paid_gpu_hours,
+        "goodput_fraction": rel.goodput_fraction,
     }
 
 

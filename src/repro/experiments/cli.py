@@ -8,6 +8,8 @@ Usage::
     python -m repro.experiments.cli all --scale medium --workers 8
     python -m repro.experiments.cli sweep --scenario burst --workers 8
     python -m repro.experiments.cli sweep --scenario trace:philly.json.gz
+    python -m repro.experiments.cli sweep --scenario node_churn --workers 4
+    python -m repro.experiments.cli sweep --scenario default --dynamics spot_reclaim_storm
     python -m repro.experiments.cli scenarios
     python -m repro.experiments.cli trace convert philly.csv philly.json.gz
 
@@ -21,8 +23,11 @@ worker processes (results are bit-identical at any worker count), and
 ``--out DIR`` exports reports plus a JSON/CSV grid of every simulated cell.
 The ``trace`` group (``trace convert``/``validate``/``stats``) ingests
 external cluster traces; converted traces replay through any grid
-experiment via ``trace:<path>`` scenario refs.  See ``docs/experiments.md``
-for the full cookbook and ``docs/traces.md`` for trace ingestion.
+experiment via ``trace:<path>`` scenario refs.  ``--dynamics <preset>``
+attaches cluster dynamics (node failures, maintenance drains, elastic
+capacity — see ``docs/reliability.md``) to a sweep over any scenario,
+including trace replays.  See ``docs/experiments.md`` for the full
+cookbook and ``docs/traces.md`` for trace ingestion.
 """
 
 from __future__ import annotations
@@ -34,6 +39,7 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
 from ..analysis.reporting import format_scheduler_table
+from ..dynamics import dynamics_names, get_dynamics
 from ..workloads import get_scenario, iter_scenarios
 from .ablation import run_table10, run_table8, run_table9
 from .artifacts import ArtifactCache, export_grid_csv, export_grid_json
@@ -42,6 +48,7 @@ from .config import ExperimentScale, scale_by_name
 from .deployment import paper_reference_benefit, run_deployment_experiment
 from .engine import (
     ExperimentEngine,
+    SchedulerSpec,
     WorkloadSpec,
     comparison_specs,
     sweep_jobs,
@@ -113,16 +120,26 @@ EXPERIMENTS: Dict[str, Callable[[ExperimentScale], str]] = {
 def _list_scenarios() -> str:
     lines = ["Workload scenario library (cli sweep --scenario <name>):", ""]
     for scenario in iter_scenarios():
-        lines.append(f"  {scenario.name:11s} {scenario.summary}")
+        marker = "*" if scenario.dynamics is not None else " "
+        lines.append(f" {marker} {scenario.name:20s} {scenario.summary}")
     lines.append("")
+    lines.append("  * = chaos scenario with cluster dynamics attached")
+    lines.append(
+        "Dynamics presets (sweep --dynamics <name>, composable with any "
+        f"scenario): {', '.join(dynamics_names())}"
+    )
     lines.append("Catalog with every knob each scenario turns: docs/workloads.md")
+    lines.append("Dynamics event model and determinism contract: docs/reliability.md")
     return "\n".join(lines)
 
 
 def _run_scenario_sweep(scale: ExperimentScale, args, engine: ExperimentEngine) -> str:
     """Run the scheduler line-up over one named scenario."""
     scenario = get_scenario(args.scenario)
-    specs = comparison_specs(include_gfs=True)
+    dynamics = get_dynamics(args.dynamics) if args.dynamics else scenario.dynamics
+    # The sweep line-up adds the standalone PTS family to the paper's
+    # Table 5 set (the tables themselves keep the paper's line-up).
+    specs = comparison_specs(include_gfs=True) + [SchedulerSpec(kind="pts")]
     if args.schedulers:
         wanted = {name.strip().lower() for name in args.schedulers.split(",")}
         specs = [s for s in specs if s.display.lower() in wanted or s.kind in wanted]
@@ -134,12 +151,15 @@ def _run_scenario_sweep(scale: ExperimentScale, args, engine: ExperimentEngine) 
             spot_scale=args.spot_scale,
             seed_offset=seed_offset,
             label=scenario.name,
+            dynamics=args.dynamics or "",
         )
         for seed_offset in range(args.seeds)
     ]
     metrics = engine.run(sweep_jobs(scale, specs, workloads, prefix="sweep"))
 
     sections = [f"Scenario: {scenario.name} — {scenario.summary}"]
+    if dynamics is not None:
+        sections[0] += f"\nDynamics: {dynamics.name} (see docs/reliability.md)"
     for workload in workloads:
         rows = {}
         for spec in specs:
@@ -207,6 +227,13 @@ def main(argv: List[str] | None = None) -> int:
         "--out", default=None, help="export reports plus a JSON/CSV grid to this directory"
     )
     parser.add_argument("--scenario", default="default", help="scenario name for 'sweep'")
+    parser.add_argument(
+        "--dynamics",
+        default=None,
+        choices=dynamics_names(),
+        help="attach a cluster-dynamics preset to 'sweep'; overrides the "
+        "scenario's own dynamics (see docs/reliability.md)",
+    )
     parser.add_argument(
         "--spot-scale",
         type=float,

@@ -29,10 +29,12 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..cluster import SimulationMetrics, reset_task_counter, run_simulation
 from ..core import GFSConfig, GFSScheduler, make_ablation
+from ..dynamics import DynamicsSpec, get_dynamics
 from ..schedulers import (
     ChronusScheduler,
     FGDScheduler,
     LyraScheduler,
+    PTSScheduler,
     YarnCSScheduler,
 )
 from ..workloads import Scenario, get_scenario
@@ -58,6 +60,7 @@ _BASELINE_CLASSES = {
     "chronus": ChronusScheduler,
     "lyra": LyraScheduler,
     "fgd": FGDScheduler,
+    "pts": PTSScheduler,
 }
 
 _DISPLAY_NAMES = {
@@ -65,6 +68,7 @@ _DISPLAY_NAMES = {
     "chronus": "Chronus",
     "lyra": "Lyra",
     "fgd": "FGD",
+    "pts": "PTS",
     "gfs": "GFS",
 }
 
@@ -97,7 +101,11 @@ class WorkloadSpec:
 
     ``scenario`` names a registered :class:`~repro.workloads.Scenario`;
     ``overrides`` are extra :class:`WorkloadConfig` field overrides (sorted
-    pairs) applied on top of the scenario's own.
+    pairs) applied on top of the scenario's own.  ``dynamics`` optionally
+    names a registered :class:`~repro.dynamics.DynamicsSpec` preset to
+    attach cluster dynamics to this cell — it *overrides* any dynamics the
+    scenario itself carries, so chaos presets compose with every scenario
+    including ``trace:<path>`` replays.
     """
 
     scenario: str = "default"
@@ -105,6 +113,7 @@ class WorkloadSpec:
     seed_offset: int = 0
     label: str = ""
     overrides: OverridePairs = ()
+    dynamics: str = ""
 
     @property
     def display(self) -> str:
@@ -132,8 +141,15 @@ class SimulationJob:
             self.workload.scenario
         )
 
+    def resolved_dynamics(self) -> Optional[DynamicsSpec]:
+        """The dynamics spec this cell runs under (workload overrides scenario)."""
+        if self.workload.dynamics:
+            return get_dynamics(self.workload.dynamics)
+        return self.resolved_scenario().dynamics
+
     def describe(self) -> Dict[str, object]:
         """Flat descriptor used in exports and cache payload auditing."""
+        dynamics = self.resolved_dynamics()
         return {
             "key": self.key,
             "scale": self.scale.name,
@@ -142,6 +158,7 @@ class SimulationJob:
             "scheduler": self.scheduler.display,
             "spot_scale": self.workload.spot_scale,
             "seed": self.scale.seed + self.workload.seed_offset,
+            "dynamics": dynamics.name if dynamics is not None else "",
         }
 
 
@@ -177,6 +194,7 @@ def cache_payload(job: SimulationJob) -> Dict[str, object]:
     scenario = job.resolved_scenario()
     seed = scale.seed + job.workload.seed_offset
     descriptor = scenario.cache_descriptor(seed)
+    dynamics = job.resolved_dynamics()
     return {
         "scale": {
             "num_nodes": scale.num_nodes,
@@ -192,6 +210,10 @@ def cache_payload(job: SimulationJob) -> Dict[str, object]:
             "spot_scale": job.workload.spot_scale,
             "seed_offset": job.workload.seed_offset,
             "overrides": job.workload.overrides,
+            # The *resolved* dynamics (a workload-level preset overrides the
+            # scenario's own), so attaching/editing chaos invalidates
+            # exactly the affected cells.
+            "dynamics": dynamics.descriptor() if dynamics is not None else None,
         },
     }
 
@@ -217,7 +239,14 @@ def execute_job(job: SimulationJob) -> SimulationMetrics:
     )
     cluster = scenario.build_cluster(scale.num_nodes, scale.gpus_per_node, scale.gpu_model)
     scheduler = build_scheduler(job.scheduler, trace)
-    return run_simulation(cluster, scheduler, trace.sorted_tasks(), scale.simulator_config())
+    return run_simulation(
+        cluster,
+        scheduler,
+        trace.sorted_tasks(),
+        scale.simulator_config(),
+        dynamics=job.resolved_dynamics(),
+        dynamics_seed=scale.seed + job.workload.seed_offset,
+    )
 
 
 # ----------------------------------------------------------------------

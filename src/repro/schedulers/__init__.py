@@ -13,6 +13,7 @@ from .placement import (
     gpus_held_on_node,
     spot_tasks_on_node,
 )
+from .pts_only import PTSScheduler
 from .registry import available_schedulers, create_scheduler, register
 from .yarn_cs import YarnCSScheduler, best_fit_score
 
@@ -21,6 +22,7 @@ __all__ = [
     "FGDScheduler",
     "LyraScheduler",
     "NodeView",
+    "PTSScheduler",
     "PlacementContext",
     "Scheduler",
     "YarnCSScheduler",

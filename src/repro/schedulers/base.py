@@ -96,5 +96,26 @@ class Scheduler(ABC):
     def on_tick(self, cluster: Cluster, now: float, pending: List[Task]) -> None:
         """Called at every periodic simulator tick (quota updates, feedback)."""
 
+    # ------------------------------------------------------------------
+    # Optional cluster-dynamics hooks (failures, drains, elastic capacity)
+    # ------------------------------------------------------------------
+    def on_node_down(self, node, cluster: Cluster, now: float) -> None:
+        """Called after a node left the fleet (failure/drain/reclaim).
+
+        The node's tasks have already been killed and requeued and its
+        capacity removed from every aggregate and candidate index;
+        schedulers that cache per-node state should invalidate it here.
+        """
+
+    def on_node_up(self, node, cluster: Cluster, now: float) -> None:
+        """Called after a node rejoined the fleet (repair/activation)."""
+
+    def on_task_killed(self, task: Task, cluster: Cluster, now: float) -> None:
+        """Called when cluster dynamics killed a running task (any class).
+
+        Distinct from :meth:`on_task_evicted`: kills are infrastructure
+        faults, not scheduler preemptions, and may strike HP tasks.
+        """
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} name={self.name!r}>"

@@ -112,11 +112,16 @@ def build_views(nodes: Iterable[Node]) -> List[NodeView]:
 
 
 def filter_nodes(task: Task, nodes: Iterable[Node]) -> List[Node]:
-    """Nodes compatible with the task's GPU-model requirement."""
+    """Online nodes compatible with the task's GPU-model requirement.
+
+    Offline nodes (failed/drained/reclaimed by cluster dynamics) are never
+    placement candidates; the capacity index excludes them on the indexed
+    path, and this filter does the same for direct linear searches.
+    """
     return [
         n
         for n in nodes
-        if task.gpu_model is None or n.gpu_model is task.gpu_model
+        if n.available and (task.gpu_model is None or n.gpu_model is task.gpu_model)
     ]
 
 

@@ -1,0 +1,58 @@
+"""Standalone PTS: the paper's placement engine without GDE/SQA admission.
+
+:class:`~repro.core.pts.PreemptiveTaskScheduler` is normally driven by
+:class:`~repro.core.gfs.GFSScheduler`, which gates spot tasks through the
+forecast-driven quota first.  ``PTSScheduler`` exposes the same placement
+engine as its own scheduler family — every spot task is admitted and only
+placement (non-preemptive scoring plus the preemptive fallback for HP
+tasks) decides.  This isolates placement behaviour from admission control,
+which is exactly what the reliability evaluation wants: under node churn
+the quota loop reacts to capacity loss, and PTS-without-quota shows how
+much of the resilience comes from placement alone.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..cluster import Cluster, SchedulingDecision, Task
+from .base import Scheduler
+from .placement import PlacementContext
+
+
+class PTSScheduler(Scheduler):
+    """The preemption-aware task scheduler with admission wide open.
+
+    Example
+    -------
+    >>> from repro.schedulers import PTSScheduler
+    >>> metrics = run_simulation(cluster, PTSScheduler(), trace.sorted_tasks())
+    """
+
+    name = "PTS"
+
+    def __init__(self, beta: float = 0.5, seed: int = 0):
+        # Imported here: repro.core imports repro.schedulers at load time,
+        # so the module-level import would be circular.
+        from ..core.pts import PTSConfig, PreemptiveTaskScheduler
+
+        self.pts = PreemptiveTaskScheduler(PTSConfig(beta=beta, seed=seed))
+        self._start_time: float = 0.0
+
+    # ------------------------------------------------------------------
+    def on_simulation_start(self, cluster: Cluster, now: float) -> None:
+        self._start_time = now
+
+    def sort_queue(self, pending: List[Task], now: float) -> List[Task]:
+        return self.pts.sort_queue(pending, now)
+
+    def try_schedule(
+        self,
+        task: Task,
+        cluster: Cluster,
+        now: float,
+        ctx: Optional[PlacementContext] = None,
+    ) -> Optional[SchedulingDecision]:
+        elapsed = max(1.0, now - self._start_time)
+        total_gpu_seconds = cluster.total_gpus() * elapsed
+        return self.pts.schedule(task, cluster, now, total_gpu_seconds, ctx=ctx)

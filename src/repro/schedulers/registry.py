@@ -8,6 +8,7 @@ from .base import Scheduler
 from .chronus import ChronusScheduler
 from .fgd import FGDScheduler
 from .lyra import LyraScheduler
+from .pts_only import PTSScheduler
 from .yarn_cs import YarnCSScheduler
 
 SchedulerFactory = Callable[..., Scheduler]
@@ -30,7 +31,8 @@ def create_scheduler(name: str, **kwargs) -> Scheduler:
     """Instantiate a scheduler by its registered (case-insensitive) name.
 
     Accepts the four baselines (``"yarn-cs"``, ``"chronus"``, ``"lyra"``,
-    ``"fgd"``), ``"gfs"`` and the ablation variants (``"gfs-e"``,
+    ``"fgd"``), the standalone placement engine (``"pts"``), ``"gfs"``
+    and the ablation variants (``"gfs-e"``,
     ``"gfs-d"``, ``"gfs-s"``, ``"gfs-p"``, ``"gfs-sp"``); keyword
     arguments are forwarded to the scheduler constructor.  Raises
     ``KeyError`` listing the registered names when ``name`` is unknown.
@@ -65,3 +67,4 @@ register("yarn_cs", YarnCSScheduler)
 register("chronus", ChronusScheduler)
 register("lyra", LyraScheduler)
 register("fgd", FGDScheduler)
+register("pts", PTSScheduler)

@@ -24,6 +24,14 @@ spot_heavy spot submission rivalling HP load (SQA admission control)
 large_gang frequent 4-8 pod gangs (gang admission and preemption cost)
 ========== =============================================================
 
+Chaos scenarios pair the default workload with a cluster-dynamics preset
+(:mod:`repro.dynamics`, ``docs/reliability.md``): ``node_churn`` (random
+failures + repairs), ``maintenance_wave`` (rolling graceful drains),
+``spot_reclaim_storm`` (periodic abrupt capacity loss) and
+``elastic_fleet`` (fleet grow/shrink).  Any scenario — including
+``trace:<path>`` replays — can be combined with any dynamics preset via
+``cli sweep --dynamics <name>``.
+
 Register custom scenarios with :func:`register_scenario`; look one up with
 :func:`get_scenario`; enumerate with :func:`scenario_names`.  Ingested
 external traces join the library through ``trace:<path>`` refs (see
@@ -38,6 +46,7 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..cluster import Cluster, GPUModel, Node, make_nodes
+from ..dynamics import DynamicsSpec, get_dynamics
 from .organizations import OrganizationProfile, default_organizations
 from .synthetic import SyntheticTraceGenerator, WorkloadConfig
 from .trace import Trace
@@ -68,6 +77,9 @@ class Scenario:
     org_builder: Optional[OrgBuilder] = None
     #: ``((GPUModel, node_fraction), ...)``; ``None`` keeps a homogeneous cluster
     fleet_mix: Optional[Tuple[Tuple[GPUModel, float], ...]] = None
+    #: cluster dynamics attached to every run of this scenario (chaos
+    #: scenarios); ``None`` keeps the fleet static
+    dynamics: Optional[DynamicsSpec] = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -147,6 +159,13 @@ class Scenario:
         }
         if self.org_builder is not None:
             descriptor["organizations"] = self.org_builder(seed)
+        if self.dynamics is not None:
+            # The fault schedule is a pure function of (spec, seed, node
+            # ids); the seed and cluster size are already part of the
+            # engine's cache payload, so the spec descriptor is all the
+            # cache key needs to never serve stale results across
+            # dynamics changes.
+            descriptor["dynamics"] = self.dynamics.descriptor()
         return descriptor
 
     def build_cluster(
@@ -347,5 +366,42 @@ LARGE_GANG_SCENARIO = register_scenario(
             "spot_gang_fraction": 0.50,
             "gang_pod_range": (4, 8),
         },
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# Chaos scenarios: the default workload under cluster dynamics
+# ----------------------------------------------------------------------
+NODE_CHURN_SCENARIO = register_scenario(
+    Scenario(
+        name="node_churn",
+        summary="Random node failures (50h MTBF, ~2h repairs) under the default mix.",
+        dynamics=get_dynamics("node_churn"),
+    )
+)
+
+MAINTENANCE_WAVE_SCENARIO = register_scenario(
+    Scenario(
+        name="maintenance_wave",
+        summary="Rolling graceful drains: 1/8 of the fleet out for 3h every 12h.",
+        dynamics=get_dynamics("maintenance_wave"),
+    )
+)
+
+SPOT_RECLAIM_STORM_SCENARIO = register_scenario(
+    Scenario(
+        name="spot_reclaim_storm",
+        summary="Abrupt reclamation of 25% of nodes every 8h, with heavier spot load.",
+        overrides={"spot_target_utilization": 0.20},
+        dynamics=get_dynamics("spot_reclaim_storm"),
+    )
+)
+
+ELASTIC_FLEET_SCENARIO = register_scenario(
+    Scenario(
+        name="elastic_fleet",
+        summary="Fleet starts at 75%, grows to 100% at 6h, retires 10% for good at 18h.",
+        dynamics=get_dynamics("elastic_fleet"),
     )
 )

@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import dataclasses
+import math
+
 import pytest
 
 from repro.cluster import Cluster, GPUModel, Node, Task, TaskType, make_task, reset_task_counter
@@ -83,5 +86,32 @@ def tiny_trace():
     return SyntheticTraceGenerator(config).generate()
 
 
+def _values_identical(a, b) -> bool:
+    """Exact equality that treats NaN == NaN and descends into containers."""
+    if isinstance(a, float) and isinstance(b, float):
+        return (math.isnan(a) and math.isnan(b)) or a == b
+    if dataclasses.is_dataclass(a) and dataclasses.is_dataclass(b):
+        return type(a) is type(b) and all(
+            _values_identical(getattr(a, f.name), getattr(b, f.name))
+            for f in dataclasses.fields(a)
+        )
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        return len(a) == len(b) and all(_values_identical(x, y) for x, y in zip(a, b))
+    return a == b
+
+
+def assert_metrics_identical(new, old, label: str = "") -> None:
+    """Field-by-field bit-identity of two SimulationMetrics bundles.
+
+    Plain ``==`` is wrong for this job: empty task classes carry NaN
+    means, and NaN != NaN would flag identical bundles as divergent.
+    """
+    for field in dataclasses.fields(old):
+        new_value, old_value = getattr(new, field.name), getattr(old, field.name)
+        assert _values_identical(new_value, old_value), (
+            f"[{label}] {field.name}: {new_value!r} != {old_value!r}"
+        )
+
+
 # Re-export for tests that import from conftest.
-__all__ = ["build_task"]
+__all__ = ["assert_metrics_identical", "build_task"]

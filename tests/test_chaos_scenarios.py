@@ -1,0 +1,105 @@
+"""Chaos scenarios through the parallel experiment engine.
+
+Acceptance for the dynamics subsystem: all six scheduler families
+(Chronus, YARN-CS, FGD, Lyra, PTS, GFS) complete the four chaos
+scenarios (``node_churn``, ``maintenance_wave``, ``spot_reclaim_storm``,
+``elastic_fleet``) through the engine with bit-identical
+:class:`SimulationMetrics` at ``--workers 1`` and ``--workers 2``, and
+node-failure events kill/requeue running tasks without task loss —
+every submitted task terminates exactly once.
+"""
+
+import pytest
+
+from repro.cluster import reset_task_counter
+from repro.experiments.config import ExperimentScale
+from repro.experiments.engine import (
+    ExperimentEngine,
+    SchedulerSpec,
+    WorkloadSpec,
+    sweep_jobs,
+)
+from repro.workloads import get_scenario
+from tests.conftest import assert_metrics_identical
+
+CHAOS_SCENARIOS = ("node_churn", "maintenance_wave", "spot_reclaim_storm", "elastic_fleet")
+FAMILIES = ("chronus", "yarn-cs", "fgd", "lyra", "pts", "gfs")
+
+#: Small but non-trivial: every scenario sees kills or capacity changes.
+SCALE = ExperimentScale(name="chaos", num_nodes=10, duration_hours=8.0, seed=13)
+SPOT_SCALE = 2.0
+
+
+def _jobs():
+    specs = [SchedulerSpec(kind=kind) for kind in FAMILIES]
+    workloads = [
+        WorkloadSpec(scenario=name, spot_scale=SPOT_SCALE, label=name)
+        for name in CHAOS_SCENARIOS
+    ]
+    return sweep_jobs(SCALE, specs, workloads, prefix="chaos")
+
+
+@pytest.fixture(scope="module")
+def serial_results():
+    engine = ExperimentEngine(workers=1)
+    return engine.run(_jobs())
+
+
+def _submitted_task_count(scenario_name: str) -> int:
+    reset_task_counter()
+    scenario = get_scenario(scenario_name)
+    trace = scenario.build_trace(
+        cluster_gpus=SCALE.total_gpus,
+        duration_hours=SCALE.duration_hours,
+        spot_scale=SPOT_SCALE,
+        seed=SCALE.seed,
+        gpu_model=SCALE.gpu_model,
+    )
+    return len(trace.tasks)
+
+
+class TestChaosConservation:
+    def test_every_family_completes_every_chaos_scenario(self, serial_results):
+        expected_tasks = {name: _submitted_task_count(name) for name in CHAOS_SCENARIOS}
+        for job in _jobs():
+            metrics = serial_results[job.key]
+            scenario = job.workload.scenario
+            # Conservation: every submitted task terminated exactly once.
+            assert metrics.unfinished_tasks == 0, job.key
+            finished = metrics.hp.count + metrics.spot.count
+            assert finished == expected_tasks[scenario], job.key
+
+    def test_dynamics_actually_disrupt(self, serial_results):
+        """Each chaos scenario produces its advertised event mix."""
+        by_scenario = {}
+        for job in _jobs():
+            by_scenario.setdefault(job.workload.scenario, []).append(
+                serial_results[job.key].reliability
+            )
+        for rel in by_scenario["node_churn"]:
+            assert rel.node_failures > 0
+        for rel in by_scenario["maintenance_wave"]:
+            assert rel.node_drains > 0
+            assert rel.lost_gpu_hours == 0.0  # drains are graceful
+        for rel in by_scenario["spot_reclaim_storm"]:
+            assert rel.capacity_changes > 0
+        for rel in by_scenario["elastic_fleet"]:
+            assert rel.capacity_changes > 0
+        # across the whole grid, churn did interrupt running tasks
+        assert any(
+            rel.tasks_killed > 0 for rels in by_scenario.values() for rel in rels
+        )
+
+    def test_paid_capacity_reflects_outages(self, serial_results):
+        """Goodput accounting is sane: paid > 0 and goodput <= paid + slack."""
+        for job in _jobs():
+            rel = serial_results[job.key].reliability
+            assert rel.paid_gpu_hours > 0.0
+            assert rel.goodput_gpu_hours > 0.0
+
+
+class TestChaosWorkerParity:
+    def test_workers_2_bit_identical_to_workers_1(self, serial_results):
+        pooled = ExperimentEngine(workers=2).run(_jobs())
+        for key, metrics in serial_results.items():
+            assert_metrics_identical(pooled[key], metrics, f"workers=2 {key}")

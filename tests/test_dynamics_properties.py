@@ -1,0 +1,76 @@
+"""Property tests for the dynamics determinism/neutrality contracts.
+
+The central invariant: attaching a :class:`DynamicsSpec` that generates
+*zero events* must be bit-identical to attaching no dynamics at all — for
+every scheduler family, any seed and any workload intensity.  This pins
+the subsystem as strictly additive: the static fast path (event counters,
+capacity accrual, metric plumbing) is shared, not forked.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster, reset_task_counter, run_simulation
+from repro.dynamics import DynamicsSpec, FaultInjector
+from repro.schedulers import create_scheduler
+from repro.workloads import generate_trace
+from tests.conftest import assert_metrics_identical
+
+FAMILIES = ("chronus", "yarn-cs", "fgd", "lyra", "pts", "gfs")
+
+#: Zero-event specs reachable through different parameterizations: all
+#: defaults, a disabled generator (period set, fraction zero), and a
+#: shifted horizon/salt (which must not matter without generators).
+EMPTY_SPECS = (
+    DynamicsSpec(),
+    DynamicsSpec(drain_period_hours=6.0, drain_fraction=0.0),
+    DynamicsSpec(reclaim_period_hours=4.0, reclaim_fraction=0.0),
+    DynamicsSpec(horizon_hours=2.0, seed_salt=99),
+)
+
+
+def _run(scheduler_name: str, seed: int, spot_scale: float, dynamics):
+    reset_task_counter()
+    cluster = Cluster.homogeneous(num_nodes=4)
+    trace = generate_trace(
+        cluster_gpus=cluster.total_gpus(),
+        duration_hours=4.0,
+        spot_scale=spot_scale,
+        seed=seed,
+    )
+    kwargs = {"org_history": trace.org_history} if scheduler_name == "gfs" else {}
+    scheduler = create_scheduler(scheduler_name, **kwargs)
+    return run_simulation(
+        cluster, scheduler, trace.sorted_tasks(), dynamics=dynamics, dynamics_seed=seed
+    )
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    scheduler_name=st.sampled_from(FAMILIES),
+    seed=st.integers(min_value=0, max_value=10_000),
+    spot_scale=st.sampled_from((1.0, 2.0)),
+    spec=st.sampled_from(EMPTY_SPECS),
+)
+def test_zero_event_dynamics_is_bit_identical_to_none(
+    scheduler_name, seed, spot_scale, spec
+):
+    assert spec.is_empty()
+    baseline = _run(scheduler_name, seed, spot_scale, dynamics=None)
+    with_empty = _run(scheduler_name, seed, spot_scale, dynamics=spec)
+    assert_metrics_identical(with_empty, baseline, f"{scheduler_name}/seed={seed}")
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    mtbf=st.sampled_from((10.0, 50.0, 200.0)),
+    num_nodes=st.integers(min_value=2, max_value=12),
+)
+def test_schedule_reproducible_from_seed_and_cluster_spec(seed, mtbf, num_nodes):
+    """Satellite: the fault schedule is a pure function of (seed, cluster)."""
+    spec = DynamicsSpec(node_mtbf_hours=mtbf, drain_period_hours=8.0, drain_fraction=0.25)
+    first = FaultInjector(spec, seed=seed).schedule(Cluster.homogeneous(num_nodes))
+    second = FaultInjector(spec, seed=seed).schedule(Cluster.homogeneous(num_nodes))
+    assert first == second
+    assert first.fingerprint() == second.fingerprint()

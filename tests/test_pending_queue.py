@@ -222,18 +222,26 @@ class TestStaleEpochsAndCutoff:
         assert all(t.state is TaskState.PENDING for t in queued)
 
     def test_tick_counter_tracks_heap_after_cutoff_and_stale_events(self):
-        """The non-tick event counter matches the heap through evictions."""
+        """The per-kind event counters match the heap through evictions."""
         cluster = Cluster.homogeneous(1, 8, GPUModel.A100)
         spot = build_task(TaskType.SPOT, gpus_per_pod=8.0, duration=2000.0, submit_time=0.0)
         hp = build_task(TaskType.HP, gpus_per_pod=8.0, duration=1000.0, submit_time=100.0)
         sim = ClusterSimulator(cluster, PreemptAllScheduler(), SimulatorConfig(restart_overhead=0.0))
         sim.submit_all([spot, hp])
         sim.run()
-        from repro.cluster.events import EventKind
+        from repro.cluster.events import DYNAMICS_EVENT_KINDS, EventKind
 
-        non_tick = sum(1 for e in sim._events if e.kind is not EventKind.QUOTA_TICK)
-        assert sim._non_tick_events == non_tick
-        assert sim._non_tick_events == 0  # drained trace leaves no work behind
+        task_events = sum(
+            1
+            for e in sim._events
+            if e.kind is not EventKind.QUOTA_TICK and e.kind not in DYNAMICS_EVENT_KINDS
+        )
+        ticks = sum(1 for e in sim._events if e.kind is EventKind.QUOTA_TICK)
+        dynamics = sum(1 for e in sim._events if e.kind in DYNAMICS_EVENT_KINDS)
+        assert sim._task_events == task_events
+        assert sim._tick_events == ticks
+        assert sim._dynamics_events == dynamics
+        assert sim._task_events == 0  # drained trace leaves no work behind
 
 
 # ----------------------------------------------------------------------
