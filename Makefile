@@ -5,7 +5,7 @@ PYTHON      ?= python
 PYTHONPATH  := src
 export PYTHONPATH
 
-.PHONY: test bench bench-scaling bench-record perf-smoke lint verify sweep trace-smoke chaos-smoke all
+.PHONY: test bench bench-scaling bench-record perf-smoke lint verify sweep trace-smoke chaos-smoke serve-smoke all
 
 # Knobs for `make sweep` (scenario library + parallel experiment engine).
 SCENARIO ?= burst
@@ -32,14 +32,17 @@ bench-scaling:
 	$(PYTHON) -m pytest benchmarks/test_bench_scaling.py -q -s
 
 ## Full placement-bound benchmark (512 nodes, >=20k tasks) with the
-## legacy search comparison, plus the full churn tier (256 nodes under
-## node_churn); writes the machine-readable BENCH_4.json and BENCH_5.json
-## perf records at the repo root and fails on any regression.
+## legacy search comparison, the full churn tier (256 nodes under
+## node_churn) and the full service load tier (streaming session over
+## HTTP); writes the machine-readable BENCH_4.json, BENCH_5.json and
+## BENCH_6.json perf records at the repo root and fails on any regression.
 bench-record:
 	REPRO_BENCH_PLACEMENT_TIER=full REPRO_BENCH_RECORD=1 REPRO_BENCH_ENFORCE=1 \
 		$(PYTHON) -m pytest benchmarks/test_bench_scaling.py -q -s -k placement
 	REPRO_BENCH_DYNAMICS_TIER=full REPRO_BENCH_RECORD=1 REPRO_BENCH_ENFORCE=1 \
 		$(PYTHON) -m pytest benchmarks/test_bench_dynamics.py -q -s
+	REPRO_BENCH_SERVICE_TIER=full REPRO_BENCH_RECORD=1 REPRO_BENCH_ENFORCE=1 \
+		$(PYTHON) -m pytest benchmarks/test_bench_service.py -q -s
 
 ## Reduced placement benchmark used by the CI perf gate: fails when the
 ## measured speedup ratio regresses >20% vs the checked-in reference.
@@ -72,6 +75,12 @@ chaos-smoke:
 	$(PYTHON) -m repro.experiments.cli sweep --scenario node_churn \
 		--scale small --workers 2 --spot-scale 2.0
 	$(PYTHON) -m pytest benchmarks/test_bench_dynamics.py tests/test_chaos_scenarios.py -q
+
+## Service smoke: boot the streaming scheduler server in-process, drive
+## one full session lifecycle over HTTP (create, stream submissions,
+## advance, occupancy/quota/what-if queries, snapshot/restore, shutdown).
+serve-smoke:
+	$(PYTHON) -m repro.service.smoke
 
 ## Lint: ruff when available, otherwise a byte-compile syntax sweep.
 lint:

@@ -158,6 +158,28 @@ class CapacityIndex:
         """Stamp of the node's last capacity mutation (0 = never mutated)."""
         return self._node_mut.get(node_id, 0)
 
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-model occupancy figures straight from the index (O(models)).
+
+        Used by the scheduler service's live occupancy endpoint: for each
+        GPU model the count of indexed (online) nodes, the completely idle
+        cards (``total_idle``), the largest single-node idle block
+        (``max_idle`` — the biggest whole-GPU pod placeable right now),
+        and how many nodes have any free / spot-held capacity.  All
+        figures are incrementally maintained; nothing is scanned.
+        """
+        summary: Dict[str, Dict[str, float]] = {}
+        for model, ix in self._models.items():
+            nodes_online = sum(len(bucket) for bucket in ix.idle_buckets)
+            summary[model.value] = {
+                "nodes_online": nodes_online,
+                "total_idle_gpus": ix.total_idle,
+                "max_idle_block": ix.max_idle,
+                "nodes_with_free_capacity": len(ix.free),
+                "nodes_with_spot_tasks": len(ix.spot),
+            }
+        return summary
+
     # ------------------------------------------------------------------
     # Fleet membership (driven by cluster dynamics)
     # ------------------------------------------------------------------

@@ -311,6 +311,22 @@ class Cluster:
             if model is None or t.gpu_model is None or t.gpu_model is model
         ]
 
+    def org_usage(self, task_type: Optional[TaskType] = None) -> Dict[str, float]:
+        """GPUs currently held by running tasks, per organization.
+
+        ``task_type`` optionally restricts the tally to one class (HP or
+        spot).  This is the live-occupancy view the scheduler service
+        exposes per org; it scans only the running-task index, never the
+        nodes.
+        """
+        self._check()
+        usage: Dict[str, float] = {}
+        for task in self.running_tasks.values():
+            if task_type is not None and task.task_type is not task_type:
+                continue
+            usage[task.org] = usage.get(task.org, 0.0) + task.total_gpus
+        return usage
+
     def spot_gpus_with_guarantee(self, hours: float, now: float) -> float:
         """GPUs held by spot tasks allocated with a guarantee of >= ``hours``.
 

@@ -63,11 +63,23 @@ class DynamicsAction:
 
 @dataclass(order=True)
 class Event:
-    """A scheduled simulator event (heap entry)."""
+    """A scheduled simulator event (heap entry).
+
+    Heap order is ``(time, kind, tiebreak, seq)``.  ``tiebreak`` is the
+    task id for ``TASK_ARRIVAL`` events and empty for every other kind:
+    simultaneous arrivals are processed in task-id order — the same
+    tie-break :meth:`~repro.workloads.trace.Trace.sorted_tasks` applies —
+    so a task submitted *mid-flight* (streaming service mode) lands in
+    exactly the position a batch replay of the merged trace would give
+    it, instead of wherever its push sequence number happens to fall.
+    For batch submissions in ``sorted_tasks()`` order the push sequence
+    already increases with the task id, so the ordering is unchanged.
+    """
 
     time: float
     kind: EventKind
-    seq: int
+    tiebreak: str = ""
+    seq: int = 0
     task: Optional[Task] = field(default=None, compare=False)
     epoch: int = field(default=0, compare=False)
     #: dynamics payload (:class:`DynamicsAction`) for dynamics kinds

@@ -103,6 +103,20 @@ class PendingQueue:
     # ------------------------------------------------------------------
     # Snapshots
     # ------------------------------------------------------------------
+    def org_demand(self, hp_only: bool = False) -> Dict[str, float]:
+        """Queued GPU demand per organization (one O(n) pass).
+
+        The scheduler service reports this next to running occupancy so
+        clients can see where queued demand is concentrating; ``hp_only``
+        restricts the tally to HP tasks (the quota-headroom view).
+        """
+        demand: Dict[str, float] = {}
+        for task in self._tasks.values():
+            if hp_only and not task.is_hp:
+                continue
+            demand[task.org] = demand.get(task.org, 0.0) + task.total_gpus
+        return demand
+
     def snapshot(self) -> List[Task]:
         """The queued tasks in insertion order, as a new list.
 

@@ -53,9 +53,11 @@ already failed against unchanged capacity are skipped without a search
 
 from __future__ import annotations
 
+import copy
 import heapq
 import inspect
 import itertools
+import pickle
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -115,6 +117,29 @@ class ClusterSimulator:
     >>> metrics = sim.run()
     >>> metrics.unfinished_tasks
     0
+
+    Incremental stepping (streaming service mode)
+    ---------------------------------------------
+    :meth:`run` is sugar over a stepping API that the scheduler service
+    (:mod:`repro.service`) drives directly:
+
+    * :meth:`start` lazily initialises the run (dynamics injection, the
+      scheduler's ``on_simulation_start``, the first quota tick);
+    * :meth:`advance` processes events up to a simulated-time bound —
+      ``advance(t1); advance(t2); …`` is **bit-identical** to a single
+      uninterrupted run for any sequence of bounds (guarded by
+      ``tests/test_stepping_determinism.py``), because event processing
+      order is a pure function of the heap, never of chunk boundaries;
+    * :meth:`submit` keeps working *mid-flight*: late submissions are
+      clamped to the current simulated time and arrivals tie-break on
+      task id, so a streamed submission lands exactly where a batch
+      replay of the merged trace would put it;
+    * :meth:`inject` schedules cluster-dynamics actions mid-flight;
+    * :meth:`snapshot` / :meth:`restore` round-trip the **complete**
+      simulator state (event heap, pending queue, cluster + capacity
+      index, scheduler including its RNGs, run logs, accounting) through
+      bytes, and :meth:`fork` produces an independent deep copy for
+      speculative what-if runs that leave the live state untouched.
     """
 
     def __init__(
@@ -151,6 +176,10 @@ class ClusterSimulator:
         self.allocation_samples: List[float] = []
         self.allocation_sample_times: List[float] = []
         self._finished_count = 0
+        #: lazily flipped by :meth:`start`; guards one-time run setup
+        self._started = False
+        #: a ``max_time`` cap was reached; the run is over for good
+        self._time_capped = False
         #: shared per-pass placement state (indexed candidates, cached node
         #: views, failed-shape memo) handed to every ``try_schedule`` call
         from ..schedulers.placement import PlacementContext
@@ -190,11 +219,20 @@ class ClusterSimulator:
         task: Optional[Task] = None,
         epoch: int = 0,
         payload: Optional[DynamicsAction] = None,
+        tiebreak: str = "",
     ) -> None:
         self._count_event(kind, +1)
         heapq.heappush(
             self._events,
-            Event(time=time, kind=kind, seq=next(self._seq), task=task, epoch=epoch, payload=payload),
+            Event(
+                time=time,
+                kind=kind,
+                tiebreak=tiebreak,
+                seq=next(self._seq),
+                task=task,
+                epoch=epoch,
+                payload=payload,
+            ),
         )
 
     def _pop(self) -> Event:
@@ -203,26 +241,99 @@ class ClusterSimulator:
         return event
 
     def submit(self, task: Task) -> None:
-        """Register a task arrival event at its submission time."""
+        """Register a task arrival event at its submission time.
+
+        Works both before :meth:`start` (batch mode) and mid-flight
+        (streaming service mode).  Mid-flight submissions timestamped in
+        the simulated past are clamped to the current simulated time —
+        the clock never runs backwards — and arrivals tie-break on task
+        id (see :class:`~repro.cluster.events.Event`), so a submission
+        timestamped equal to an already-heaped event is processed in
+        exactly the order a batch replay of the merged trace would use.
+        """
         self.all_tasks.append(task)
         self._epochs[task.task_id] = 0
-        self._push(task.submit_time, EventKind.TASK_ARRIVAL, task)
+        arrival_time = task.submit_time
+        if self._started and arrival_time < self.now:
+            arrival_time = self.now
+        self._push(arrival_time, EventKind.TASK_ARRIVAL, task, tiebreak=task.task_id)
 
     def submit_all(self, tasks: Sequence[Task]) -> None:
         for task in tasks:
             self.submit(task)
 
+    def inject(
+        self,
+        action: DynamicsAction,
+        time: Optional[float] = None,
+        kind: EventKind = EventKind.CAPACITY_CHANGE,
+    ) -> None:
+        """Schedule a cluster-dynamics action mid-flight.
+
+        The pre-generated fault schedules of :mod:`repro.dynamics` cover
+        batch runs; a live scheduler service additionally needs to feed
+        *observed* infrastructure events (a node really failed, capacity
+        was really added) into a running simulation.  ``time`` defaults
+        to the current simulated time and is clamped to it when it lies
+        in the simulated past; ``kind`` must be a dynamics event kind.
+        """
+        if kind not in DYNAMICS_EVENT_KINDS:
+            raise ValueError(f"inject() only accepts dynamics event kinds, got {kind!r}")
+        event_time = self.now if time is None else float(time)
+        if self._started and event_time < self.now:
+            event_time = self.now
+        self._push(event_time, kind, payload=action)
+
     # ------------------------------------------------------------------
-    # Main loop
+    # Main loop: start / advance / run
     # ------------------------------------------------------------------
-    def run(self) -> SimulationMetrics:
-        """Run the simulation until the trace drains (or ``max_time`` hits)."""
+    @property
+    def started(self) -> bool:
+        """Whether :meth:`start` has run (directly or via advance/run)."""
+        return self._started
+
+    @property
+    def done(self) -> bool:
+        """Whether no processable work remains right now.
+
+        True once the heap has drained, a ``max_time`` cap was hit, or
+        only trailing dynamics events remain with no task work anywhere
+        (the same abandonment rule the batch loop applies).  In streaming
+        mode a later :meth:`submit` can make a drained simulator live
+        again — ``done`` is a statement about *current* state, not a
+        terminal latch (except after ``max_time``).
+        """
+        if not self._started:
+            return False
+        if self._time_capped:
+            return True
         if not self._events:
-            raise SimulationError("no tasks submitted")
+            return True
+        head = self._events[0]
+        if self.config.max_time is not None and head.time > self.config.max_time:
+            return True
+        return (
+            head.kind in DYNAMICS_EVENT_KINDS
+            and self._task_events == 0
+            and not self.pending
+            and not self.cluster.running_tasks
+        )
+
+    def start(self) -> None:
+        """One-time run setup; idempotent, called lazily by :meth:`advance`.
+
+        Materialises the dynamics schedule, moves the clock to the first
+        event (the heap root — no O(n) scan), opens the paid-capacity
+        integral, fires the scheduler's ``on_simulation_start`` hook and
+        arms the periodic quota tick.  A simulator started with an empty
+        heap (a streaming session awaiting its first submission) starts
+        at time zero.
+        """
+        if self._started:
+            return
+        self._started = True
         self._inject_dynamics()
-        # The event list is a heap ordered by time first: the root is the
-        # earliest event, no O(n) scan needed.
-        first_time = self._events[0].time
+        first_time = self._events[0].time if self._events else self.now
         self.now = first_time
         self._capacity_accrued_until = first_time
         if hasattr(self.scheduler, "on_simulation_start"):
@@ -230,21 +341,42 @@ class ClusterSimulator:
         if self.config.tick_interval > 0:
             self._push(first_time + self.config.tick_interval, EventKind.QUOTA_TICK)
 
+    def advance(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Process events up to simulated time ``until`` (inclusive).
+
+        Returns the number of events processed.  ``until=None`` drains
+        the heap (batch semantics); ``max_events`` optionally bounds the
+        work per call so a service can interleave long advances with
+        other requests.  Chunking is invisible to the simulation: for
+        any boundary sequence the events processed, and therefore every
+        metric, are bit-identical to one uninterrupted run, because the
+        loop never consults ``until`` for anything except *when to
+        pause* — it peeks at the heap root and stops before popping.
+        """
+        if not self._started:
+            self.start()
+        processed = 0
         while self._events:
+            head = self._events[0]
+            if until is not None and head.time > until:
+                break
+            if self.config.max_time is not None and head.time > self.config.max_time:
+                self._time_capped = True
+                break
             # A fault schedule can stretch far past the trace: once no task
             # work remains anywhere (no waiting or running tasks and no
             # future arrivals/finishes), trailing dynamics events cannot
             # affect any result and are abandoned unprocessed.
             if (
-                self._events[0].kind in DYNAMICS_EVENT_KINDS
+                head.kind in DYNAMICS_EVENT_KINDS
                 and self._task_events == 0
                 and not self.pending
                 and not self.cluster.running_tasks
             ):
                 break
-            event = self._pop()
-            if self.config.max_time is not None and event.time > self.config.max_time:
+            if max_events is not None and processed >= max_events:
                 break
+            event = self._pop()
             self.now = event.time
             if event.kind is EventKind.TASK_ARRIVAL:
                 self._handle_arrival(event.task)
@@ -255,9 +387,65 @@ class ClusterSimulator:
             elif event.kind in DYNAMICS_EVENT_KINDS:
                 self._handle_dynamics(event)
             # SAMPLE events are folded into ticks.
+            processed += 1
+        return processed
 
+    def run(self) -> SimulationMetrics:
+        """Run the simulation until the trace drains (or ``max_time`` hits)."""
+        if not self._started and not self._events:
+            raise SimulationError("no tasks submitted")
+        self.advance()
+        return self.finalize()
+
+    def finalize(self) -> SimulationMetrics:
+        """Close the capacity integral and collect metrics.
+
+        Safe to call mid-run for live queries: the paid-capacity integral
+        is accumulated incrementally, so folding it forward early never
+        changes the final value (capacity only changes at dynamics
+        events, which fold it themselves).
+        """
         self._accrue_capacity()
         return self.collect_metrics()
+
+    # ------------------------------------------------------------------
+    # Snapshot / fork (streaming service mode)
+    # ------------------------------------------------------------------
+    def fork(self) -> "ClusterSimulator":
+        """An independent deep copy sharing no mutable state with ``self``.
+
+        The copy carries the complete simulator graph — cluster, capacity
+        index, event heap, pending queue, tasks, scheduler (including any
+        RNG state) — with object identity preserved *within* the copy, so
+        it can be advanced, submitted to and finished without perturbing
+        the live simulator by a single bit.  This is what serves
+        speculative what-if queries in :mod:`repro.service`.
+        """
+        return copy.deepcopy(self)
+
+    def snapshot(self) -> bytes:
+        """Serialise the complete simulator state to bytes.
+
+        The snapshot captures everything :meth:`fork` copies, in pickled
+        form, so ``ClusterSimulator.restore(sim.snapshot())`` continues
+        bit-identically to the simulator it was taken from — including
+        mid-outage dynamics state and same-timestamp event ties (guarded
+        by ``tests/test_snapshot_fork.py``).  Registry schedulers are all
+        picklable; a custom scheduler must be too for snapshots to work.
+        The service layer wraps these bytes in a versioned, checksummed
+        envelope (:mod:`repro.service.snapshot`) for transport.
+        """
+        return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def restore(cls, data: bytes) -> "ClusterSimulator":
+        """Rebuild a simulator from :meth:`snapshot` bytes."""
+        sim = pickle.loads(data)
+        if not isinstance(sim, cls):
+            raise SimulationError(
+                f"snapshot does not contain a {cls.__name__} (got {type(sim).__name__})"
+            )
+        return sim
 
     # ------------------------------------------------------------------
     # Event handlers
@@ -272,6 +460,10 @@ class ClusterSimulator:
         # full queue is re-examined on completions and periodic ticks.  This
         # keeps the event loop close to linear in the number of events.
         self._schedule_pending(only=task)
+        # In batch replays the tick chain is always alive while arrivals
+        # remain, so this is a no-op; in streaming mode a submission into a
+        # drained session must revive the periodic tick itself.
+        self._ensure_tick()
 
     def _handle_finish(self, task: Task, epoch: int) -> None:
         if task is None or self._epochs.get(task.task_id) != epoch:

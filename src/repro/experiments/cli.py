@@ -12,6 +12,7 @@ Usage::
     python -m repro.experiments.cli sweep --scenario default --dynamics spot_reclaim_storm
     python -m repro.experiments.cli scenarios
     python -m repro.experiments.cli trace convert philly.csv philly.json.gz
+    python -m repro.experiments.cli serve --port 8151
 
 Each experiment prints the same rows as the corresponding table/figure of
 the paper (the README's "Paper tables and figures" section maps each artifact
@@ -27,7 +28,10 @@ experiment via ``trace:<path>`` scenario refs.  ``--dynamics <preset>``
 attaches cluster dynamics (node failures, maintenance drains, elastic
 capacity — see ``docs/reliability.md``) to a sweep over any scenario,
 including trace replays.  See ``docs/experiments.md`` for the full
-cookbook and ``docs/traces.md`` for trace ingestion.
+cookbook and ``docs/traces.md`` for trace ingestion.  ``serve`` starts
+the streaming scheduler service — live simulation sessions over
+HTTP/JSON with incremental stepping, snapshot/restore and what-if
+placement advice (see ``docs/service.md``).
 """
 
 from __future__ import annotations
@@ -196,6 +200,12 @@ def main(argv: List[str] | None = None) -> int:
         from .trace_cli import main as trace_main
 
         return trace_main(argv[1:])
+    if argv and argv[0] == "serve":
+        # The streaming scheduler service likewise owns its options
+        # (--host/--port); see docs/service.md.
+        from ..service.cli import main as serve_main
+
+        return serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
     )

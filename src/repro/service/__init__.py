@@ -1,0 +1,48 @@
+"""Streaming scheduler service: the simulator as a long-running server.
+
+Everything else in this repository is batch — build a trace, run it to
+completion, read metrics.  This package turns the incremental-stepping
+API of :class:`~repro.cluster.simulator.ClusterSimulator` (``advance``,
+mid-flight ``submit``/``inject``, ``snapshot``/``restore``/``fork``) into
+an operational tool: an asyncio HTTP/JSON server that hosts many live
+simulation *sessions*, accepts streaming job submissions from concurrent
+clients, and answers live queries — cluster occupancy, per-org quota
+headroom, and speculative *what-if* placement advice computed against a
+forked copy of the session without disturbing the live state.
+
+Start it from the CLI::
+
+    python -m repro.experiments.cli serve --port 8151
+
+and talk to it with :class:`~repro.service.client.ServiceClient` (sync)
+or :class:`~repro.service.client.AsyncServiceClient` (asyncio).  The full
+API, the session lifecycle and the snapshot wire format are documented in
+``docs/service.md``; the determinism contract (stepped == batch,
+snapshot→restore→continue == uninterrupted, fork isolation) is enforced
+by ``tests/test_stepping_determinism.py``, ``tests/test_snapshot_fork.py``
+and ``tests/test_service.py``.
+"""
+
+from .client import AsyncServiceClient, ServiceClient, ServiceError
+from .server import SchedulerServer
+from .session import SimulationSession, task_from_payload, task_to_payload
+from .snapshot import (
+    SNAPSHOT_VERSION,
+    SnapshotError,
+    decode_snapshot,
+    encode_snapshot,
+)
+
+__all__ = [
+    "AsyncServiceClient",
+    "SchedulerServer",
+    "ServiceClient",
+    "ServiceError",
+    "SimulationSession",
+    "SnapshotError",
+    "SNAPSHOT_VERSION",
+    "decode_snapshot",
+    "encode_snapshot",
+    "task_from_payload",
+    "task_to_payload",
+]

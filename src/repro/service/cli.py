@@ -1,0 +1,35 @@
+"""``serve`` subcommand: run the streaming scheduler service.
+
+Reached through the main experiments CLI (``python -m repro.experiments.cli
+serve``) or directly as ``python -m repro.service.cli``.  The server runs
+until interrupted or until a client posts ``/shutdown``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+from typing import List, Optional
+
+from .server import serve
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Run the streaming scheduler service (see docs/service.md).",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address (default: %(default)s)")
+    parser.add_argument(
+        "--port", type=int, default=8151, help="bind port, 0 for ephemeral (default: %(default)s)"
+    )
+    args = parser.parse_args(argv)
+    try:
+        asyncio.run(serve(args.host, args.port))
+    except KeyboardInterrupt:
+        print("scheduler service stopped")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

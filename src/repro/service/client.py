@@ -1,0 +1,276 @@
+"""Clients for the streaming scheduler service.
+
+Two flavours over the same JSON API:
+
+* :class:`ServiceClient` — synchronous, built on :mod:`http.client`
+  with one persistent keep-alive connection.  For scripts, notebooks
+  and the smoke/benchmark harnesses.
+* :class:`AsyncServiceClient` — asyncio, built on
+  ``asyncio.open_connection``.  For concurrent load tests and callers
+  already inside an event loop.
+
+Both raise :class:`ServiceError` on any non-200 response, carrying the
+HTTP status and the server's ``error`` message.  Method names mirror the
+routes one-to-one; see ``docs/service.md`` for the payload shapes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from .snapshot import snapshot_from_text, snapshot_to_text
+
+
+class ServiceError(RuntimeError):
+    """A service request failed; carries the HTTP status and message."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """Synchronous client holding one persistent connection.
+
+    Example
+    -------
+    >>> client = ServiceClient("127.0.0.1", 8151)
+    >>> session = client.create_session(scheduler="gfs", num_nodes=16)
+    >>> client.submit(session["session_id"], [task_payload])
+    >>> client.advance(session["session_id"], until=3600.0)
+    >>> client.close()
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8151, timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str, payload: Optional[Mapping] = None) -> Dict:
+        body = json.dumps(payload).encode("utf-8") if payload is not None else b""
+        headers = {"Content-Type": "application/json", "Content-Length": str(len(body))}
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            self._conn.request(method, path, body=body, headers=headers)
+            response = self._conn.getresponse()
+            data = response.read()
+        except (http.client.HTTPException, ConnectionError, OSError):
+            # Stale keep-alive connection (server restarted, idle timeout):
+            # reconnect once before giving up.
+            self.close()
+            self._conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+            self._conn.request(method, path, body=body, headers=headers)
+            response = self._conn.getresponse()
+            data = response.read()
+        decoded = json.loads(data) if data else {}
+        if response.status != 200:
+            raise ServiceError(response.status, decoded.get("error", data.decode("utf-8", "replace")))
+        return decoded
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # API surface
+    # ------------------------------------------------------------------
+    def healthz(self) -> Dict:
+        return self._request("GET", "/healthz")
+
+    def shutdown(self) -> Dict:
+        return self._request("POST", "/shutdown")
+
+    def list_sessions(self) -> List[Dict]:
+        return self._request("GET", "/sessions")["sessions"]
+
+    def create_session(self, **params) -> Dict:
+        return self._request("POST", "/sessions", params)
+
+    def status(self, session_id: str) -> Dict:
+        return self._request("GET", f"/sessions/{session_id}")
+
+    def delete_session(self, session_id: str) -> Dict:
+        return self._request("DELETE", f"/sessions/{session_id}")
+
+    def advance(
+        self,
+        session_id: str,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> Dict:
+        return self._request(
+            "POST", f"/sessions/{session_id}/advance", {"until": until, "max_events": max_events}
+        )
+
+    def submit(self, session_id: str, tasks: Sequence[Mapping]) -> Dict:
+        return self._request("POST", f"/sessions/{session_id}/submit", {"tasks": list(tasks)})
+
+    def inject(self, session_id: str, **payload) -> Dict:
+        return self._request("POST", f"/sessions/{session_id}/inject", payload)
+
+    def what_if(self, session_id: str, task: Mapping, horizon_hours: float = 24.0) -> Dict:
+        return self._request(
+            "POST", f"/sessions/{session_id}/whatif", {"task": dict(task), "horizon_hours": horizon_hours}
+        )
+
+    def occupancy(self, session_id: str) -> Dict:
+        return self._request("GET", f"/sessions/{session_id}/occupancy")
+
+    def quota(self, session_id: str) -> Dict:
+        return self._request("GET", f"/sessions/{session_id}/quota")
+
+    def metrics(self, session_id: str) -> Dict:
+        return self._request("GET", f"/sessions/{session_id}/metrics")
+
+    def snapshot(self, session_id: str) -> bytes:
+        """Export the session's state as versioned envelope bytes."""
+        text = self._request("POST", f"/sessions/{session_id}/snapshot")["snapshot"]
+        return snapshot_from_text(text)
+
+    def restore(self, session_id: str, snapshot: bytes) -> Dict:
+        return self._request(
+            "POST", f"/sessions/{session_id}/restore", {"snapshot": snapshot_to_text(snapshot)}
+        )
+
+
+class AsyncServiceClient:
+    """Asyncio client over one persistent keep-alive connection.
+
+    The transport is deliberately minimal — write request, read
+    ``Content-Length``-framed response — because that is the only
+    protocol shape the server emits.  One client instance is one
+    connection and must not be shared between concurrently-running
+    coroutines; spawn one client per concurrent worker instead (the
+    concurrency tests do exactly that).
+
+    Example
+    -------
+    >>> client = AsyncServiceClient("127.0.0.1", 8151)
+    >>> session = await client.create_session(scheduler="fgd")
+    >>> await client.advance(session["session_id"], until=7200.0)
+    >>> await client.close()
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8151):
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def _connect(self) -> None:
+        if self._writer is None:
+            self._reader, self._writer = await asyncio.open_connection(self.host, self.port)
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._reader = None
+            self._writer = None
+
+    async def _request(self, method: str, path: str, payload: Optional[Mapping] = None) -> Dict:
+        await self._connect()
+        body = json.dumps(payload).encode("utf-8") if payload is not None else b""
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: keep-alive\r\n\r\n"
+        )
+        self._writer.write(head.encode("latin-1") + body)
+        await self._writer.drain()
+        status_line = await self._reader.readline()
+        status = int(status_line.split()[1])
+        length = 0
+        while True:
+            line = await self._reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+        data = await self._reader.readexactly(length) if length else b""
+        decoded = json.loads(data) if data else {}
+        if status != 200:
+            raise ServiceError(status, decoded.get("error", data.decode("utf-8", "replace")))
+        return decoded
+
+    # ------------------------------------------------------------------
+    # API surface (mirrors ServiceClient)
+    # ------------------------------------------------------------------
+    async def healthz(self) -> Dict:
+        return await self._request("GET", "/healthz")
+
+    async def shutdown(self) -> Dict:
+        return await self._request("POST", "/shutdown")
+
+    async def list_sessions(self) -> List[Dict]:
+        return (await self._request("GET", "/sessions"))["sessions"]
+
+    async def create_session(self, **params) -> Dict:
+        return await self._request("POST", "/sessions", params)
+
+    async def status(self, session_id: str) -> Dict:
+        return await self._request("GET", f"/sessions/{session_id}")
+
+    async def delete_session(self, session_id: str) -> Dict:
+        return await self._request("DELETE", f"/sessions/{session_id}")
+
+    async def advance(
+        self,
+        session_id: str,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> Dict:
+        return await self._request(
+            "POST", f"/sessions/{session_id}/advance", {"until": until, "max_events": max_events}
+        )
+
+    async def submit(self, session_id: str, tasks: Sequence[Mapping]) -> Dict:
+        return await self._request("POST", f"/sessions/{session_id}/submit", {"tasks": list(tasks)})
+
+    async def inject(self, session_id: str, **payload) -> Dict:
+        return await self._request("POST", f"/sessions/{session_id}/inject", payload)
+
+    async def what_if(self, session_id: str, task: Mapping, horizon_hours: float = 24.0) -> Dict:
+        return await self._request(
+            "POST", f"/sessions/{session_id}/whatif", {"task": dict(task), "horizon_hours": horizon_hours}
+        )
+
+    async def occupancy(self, session_id: str) -> Dict:
+        return await self._request("GET", f"/sessions/{session_id}/occupancy")
+
+    async def quota(self, session_id: str) -> Dict:
+        return await self._request("GET", f"/sessions/{session_id}/quota")
+
+    async def metrics(self, session_id: str) -> Dict:
+        return await self._request("GET", f"/sessions/{session_id}/metrics")
+
+    async def snapshot(self, session_id: str) -> bytes:
+        text = (await self._request("POST", f"/sessions/{session_id}/snapshot"))["snapshot"]
+        return snapshot_from_text(text)
+
+    async def restore(self, session_id: str, snapshot: bytes) -> Dict:
+        return await self._request(
+            "POST", f"/sessions/{session_id}/restore", {"snapshot": snapshot_to_text(snapshot)}
+        )

@@ -1,0 +1,324 @@
+"""Asyncio scheduler service: streaming sessions over HTTP/JSON.
+
+Stdlib only — the transport is a hand-rolled HTTP/1.1 server on
+``asyncio.start_server`` (no aiohttp dependency), which is entirely
+adequate for a JSON control plane: requests are small, responses are
+JSON, and keep-alive plus ``Content-Length`` framing is all the protocol
+surface the clients in :mod:`repro.service.client` use.
+
+Concurrency model
+-----------------
+Each connection is one asyncio task; many clients interleave freely.
+Simulator work is synchronous and CPU-bound, so every session carries an
+``asyncio.Lock`` and all operations on it — stepping, submission,
+queries, what-if forks — run under that lock in the default thread-pool
+executor.  That gives:
+
+* **per-session serial order**: operations on one session never
+  interleave, so the simulator's determinism contract survives any
+  client concurrency (the order of *independent* client requests is
+  necessarily racy, but each request is atomic);
+* **cross-session isolation**: sessions share nothing but the registry
+  dict, so queries against one session cannot perturb another — guarded
+  by ``tests/test_service.py``;
+* **a responsive loop**: the event loop only parses bytes and routes;
+  long advances run off-loop, bounded by ``max_events`` chunking in
+  the what-if path.
+
+Routes (all JSON; see ``docs/service.md`` for request/response bodies)::
+
+    GET    /healthz
+    GET    /sessions                     list sessions
+    POST   /sessions                     create a session
+    GET    /sessions/{id}                status
+    DELETE /sessions/{id}                drop a session
+    POST   /sessions/{id}/advance        step the simulator
+    POST   /sessions/{id}/submit         stream task submissions
+    POST   /sessions/{id}/inject         inject a dynamics event
+    POST   /sessions/{id}/whatif         speculative placement advice
+    GET    /sessions/{id}/occupancy      live cluster occupancy
+    GET    /sessions/{id}/quota          per-org quota headroom
+    GET    /sessions/{id}/metrics        full metrics of the run so far
+    POST   /sessions/{id}/snapshot       export a versioned snapshot
+    POST   /sessions/{id}/restore        replace state from a snapshot
+    POST   /shutdown                     stop the server
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, Optional, Tuple
+
+from .session import SessionError, SimulationSession
+from .snapshot import SnapshotError, snapshot_from_text, snapshot_to_text
+
+#: requests larger than this are rejected outright (snapshots dominate;
+#: a FULL-scale mid-run snapshot compresses to a few MB)
+MAX_BODY_BYTES = 256 * 1024 * 1024
+_MAX_HEADER_BYTES = 64 * 1024
+
+
+class _HttpError(Exception):
+    """Terminates request handling with a specific status code."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class SchedulerServer:
+    """The streaming scheduler service (see module docstring).
+
+    Example
+    -------
+    >>> server = SchedulerServer()
+    >>> await server.start(port=0)          # 0 = ephemeral port
+    >>> server.port                          # actual bound port
+    >>> await server.wait_closed()           # returns after POST /shutdown
+    """
+
+    def __init__(self) -> None:
+        self._sessions: Dict[str, SimulationSession] = {}
+        self._locks: Dict[str, asyncio.Lock] = {}
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._shutdown = asyncio.Event()
+        self.host: str = ""
+        self.port: int = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self, host: str = "127.0.0.1", port: int = 8151) -> None:
+        self._server = await asyncio.start_server(self._handle_connection, host, port)
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+
+    async def wait_closed(self) -> None:
+        """Block until a shutdown is requested, then close the listener."""
+        await self._shutdown.wait()
+        await self.stop()
+
+    async def stop(self) -> None:
+        self._shutdown.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while not self._shutdown.is_set():
+                try:
+                    request = await self._read_request(reader)
+                except _HttpError as exc:
+                    # Framing errors poison the stream; answer and hang up.
+                    await self._write_response(
+                        writer, exc.status, {"error": exc.message}, keep_alive=False
+                    )
+                    break
+                if request is None:
+                    break  # client closed the connection
+                method, path, body, keep_alive = request
+                status, payload = await self._dispatch(method, path, body)
+                await self._write_response(writer, status, payload, keep_alive)
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-request; nothing to clean up
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    @staticmethod
+    async def _read_request(
+        reader: asyncio.StreamReader,
+    ) -> Optional[Tuple[str, str, bytes, bool]]:
+        """Parse one HTTP/1.1 request; ``None`` on clean connection close."""
+        try:
+            header_blob = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial:
+                return None  # clean EOF between requests
+            raise
+        except asyncio.LimitOverrunError as exc:
+            raise _HttpError(431, "request headers too large") from exc
+        if len(header_blob) > _MAX_HEADER_BYTES:
+            raise _HttpError(431, "request headers too large")
+        head, *header_lines = header_blob.decode("latin-1").split("\r\n")
+        parts = head.split(" ")
+        if len(parts) != 3:
+            raise _HttpError(400, f"malformed request line: {head!r}")
+        method, path, _version = parts
+        headers = {}
+        for line in header_lines:
+            if ":" in line:
+                name, _, value = line.partition(":")
+                headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY_BYTES:
+            raise _HttpError(413, f"request body too large ({length} bytes)")
+        body = await reader.readexactly(length) if length else b""
+        keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+        return method.upper(), path, body, keep_alive
+
+    @staticmethod
+    async def _write_response(
+        writer: asyncio.StreamWriter, status: int, payload: object, keep_alive: bool
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed",
+                  409: "Conflict", 413: "Payload Too Large", 431: "Headers Too Large",
+                  500: "Internal Server Error"}.get(status, "Unknown")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def _dispatch(self, method: str, path: str, body: bytes) -> Tuple[int, object]:
+        try:
+            return await self._route(method, path, body)
+        except _HttpError as exc:
+            return exc.status, {"error": exc.message}
+        except (SessionError, SnapshotError) as exc:
+            return 400, {"error": str(exc)}
+        except Exception as exc:  # noqa: BLE001 - one request must never kill the server
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}
+
+    async def _route(self, method: str, path: str, body: bytes) -> Tuple[int, object]:
+        path = path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/healthz" and method == "GET":
+            return 200, {"status": "ok", "sessions": len(self._sessions)}
+        if path == "/shutdown" and method == "POST":
+            self._shutdown.set()
+            return 200, {"status": "shutting down"}
+        if path == "/sessions":
+            if method == "GET":
+                return 200, {"sessions": [s.status() for s in self._sessions.values()]}
+            if method == "POST":
+                return await self._create_session(self._json_body(body))
+            raise _HttpError(405, f"{method} not allowed on {path}")
+        if path.startswith("/sessions/"):
+            rest = path[len("/sessions/") :]
+            session_id, _, verb = rest.partition("/")
+            return await self._session_route(method, session_id, verb, body)
+        raise _HttpError(404, f"no route for {path}")
+
+    @staticmethod
+    def _json_body(body: bytes) -> dict:
+        if not body:
+            return {}
+        try:
+            payload = json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise _HttpError(400, f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise _HttpError(400, "request body must be a JSON object")
+        return payload
+
+    async def _create_session(self, payload: dict) -> Tuple[int, object]:
+        loop = asyncio.get_running_loop()
+        # Construction builds a trace and a cluster — CPU work, off-loop.
+        session = await loop.run_in_executor(None, SimulationSession, payload)
+        self._sessions[session.session_id] = session
+        self._locks[session.session_id] = asyncio.Lock()
+        return 200, session.status()
+
+    def _session(self, session_id: str) -> SimulationSession:
+        session = self._sessions.get(session_id)
+        if session is None:
+            raise _HttpError(404, f"no such session: {session_id!r}")
+        return session
+
+    async def _session_route(
+        self, method: str, session_id: str, verb: str, body: bytes
+    ) -> Tuple[int, object]:
+        session = self._session(session_id)
+        lock = self._locks[session_id]
+        if not verb:
+            if method == "GET":
+                return 200, await self._run(lock, session.status)
+            if method == "DELETE":
+                del self._sessions[session_id]
+                del self._locks[session_id]
+                return 200, {"deleted": session_id}
+            raise _HttpError(405, f"{method} not allowed on session root")
+
+        payload = self._json_body(body) if method == "POST" else {}
+        routes = {
+            ("POST", "advance"): lambda: session.advance(
+                payload.get("until"), payload.get("max_events")
+            ),
+            ("POST", "submit"): lambda: session.submit(self._task_list(payload)),
+            ("POST", "inject"): lambda: session.inject(payload),
+            ("POST", "whatif"): lambda: session.what_if(
+                self._task_payload(payload), payload.get("horizon_hours", 24.0)
+            ),
+            ("GET", "occupancy"): session.occupancy,
+            ("GET", "quota"): session.quota,
+            ("GET", "metrics"): session.metrics,
+            ("POST", "snapshot"): lambda: {
+                "session_id": session.session_id,
+                "snapshot": snapshot_to_text(session.snapshot_bytes()),
+            },
+            ("POST", "restore"): lambda: session.restore_bytes(
+                snapshot_from_text(self._text_field(payload, "snapshot"))
+            ),
+        }
+        handler = routes.get((method, verb))
+        if handler is None:
+            raise _HttpError(404, f"no route for {method} /sessions/{{id}}/{verb}")
+        return 200, await self._run(lock, handler)
+
+    @staticmethod
+    async def _run(lock: asyncio.Lock, fn):
+        """Run one session operation: serialised per session, off-loop."""
+        loop = asyncio.get_running_loop()
+        async with lock:
+            return await loop.run_in_executor(None, fn)
+
+    @staticmethod
+    def _task_list(payload: dict) -> list:
+        tasks = payload.get("tasks")
+        if not isinstance(tasks, list) or not tasks:
+            raise _HttpError(400, "submit body must carry a non-empty 'tasks' array")
+        return tasks
+
+    @staticmethod
+    def _task_payload(payload: dict) -> dict:
+        task = payload.get("task")
+        if not isinstance(task, dict):
+            raise _HttpError(400, "whatif body must carry a 'task' object")
+        return task
+
+    @staticmethod
+    def _text_field(payload: dict, field: str) -> str:
+        value = payload.get(field)
+        if not isinstance(value, str) or not value:
+            raise _HttpError(400, f"body must carry a non-empty {field!r} string")
+        return value
+
+
+async def serve(host: str = "127.0.0.1", port: int = 8151) -> None:
+    """Start a server and run until ``POST /shutdown`` (CLI entry point)."""
+    server = SchedulerServer()
+    await server.start(host, port)
+    print(f"scheduler service listening on http://{server.host}:{server.port}")
+    await server.wait_closed()

@@ -1,0 +1,387 @@
+"""Live simulation sessions: one streaming simulator behind the service.
+
+A :class:`SimulationSession` owns one incrementally-stepped
+:class:`~repro.cluster.simulator.ClusterSimulator` plus the JSON codecs
+the HTTP layer needs: task payloads in the exact field vocabulary of
+``Trace.to_records`` (so a trace file row pastes straight into a submit
+request), dynamics injections, live occupancy/quota views and what-if
+placement advice computed on a :meth:`~ClusterSimulator.fork` so the
+live state is never perturbed.
+
+Sessions are synchronous, deterministic objects — all asyncio locking
+and scheduling lives in :mod:`repro.service.server`, which serialises
+operations per session.  That split keeps the determinism suite able to
+drive sessions directly, with no event loop in sight.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..cluster.cluster import Cluster
+from ..cluster.events import DYNAMICS_EVENT_KINDS, DynamicsAction, EventKind
+from ..cluster.gpu import GPUModel
+from ..cluster.simulator import ClusterSimulator, SimulatorConfig
+from ..cluster.task import Task, TaskType
+from ..dynamics import FaultInjector, get_dynamics
+from ..experiments.engine import SchedulerSpec, build_scheduler
+from ..workloads.scenarios import get_scenario
+
+#: session-creation parameters the service accepts, with their defaults —
+#: anything else in a create request is rejected as a typo guard
+SESSION_DEFAULTS: Dict[str, object] = {
+    "scheduler": "gfs",
+    "scenario": "default",
+    "num_nodes": 16,
+    "gpus_per_node": 8,
+    "gpu_model": "A100",
+    "duration_hours": 8.0,
+    "spot_scale": 1.0,
+    "seed": 7,
+    "dynamics": "",
+    "tick_interval": 300.0,
+    "max_time": None,
+    "preload": False,
+}
+
+_session_counter = itertools.count(1)
+
+
+class SessionError(ValueError):
+    """A request payload is invalid for this session or the service."""
+
+
+# ----------------------------------------------------------------------
+# Task payload codec (the Trace.to_records vocabulary)
+# ----------------------------------------------------------------------
+def task_from_payload(payload: Mapping[str, object]) -> Task:
+    """Build a :class:`Task` from a JSON payload.
+
+    Field names and types match ``Trace.to_records`` exactly, so rows
+    from a saved trace file are valid submit payloads as-is.  Only
+    ``task_id``, ``num_pods``, ``gpus_per_pod`` and ``duration`` are
+    required; everything else takes the trace-format defaults.
+    """
+    if not isinstance(payload, Mapping):
+        raise SessionError(f"task payload must be an object, got {type(payload).__name__}")
+    missing = [k for k in ("task_id", "num_pods", "gpus_per_pod", "duration") if k not in payload]
+    if missing:
+        raise SessionError(f"task payload missing required fields: {', '.join(missing)}")
+    try:
+        return Task(
+            task_id=str(payload["task_id"]),
+            task_type=TaskType(int(payload.get("task_type", int(TaskType.SPOT)))),
+            num_pods=int(payload["num_pods"]),
+            gpus_per_pod=float(payload["gpus_per_pod"]),
+            duration=float(payload["duration"]),
+            submit_time=float(payload.get("submit_time", 0.0)),
+            org=str(payload.get("org", "default")),
+            gpu_model=GPUModel(payload["gpu_model"]) if payload.get("gpu_model") else None,
+            gang=bool(payload.get("gang", False)),
+            checkpoint_interval=float(payload.get("checkpoint_interval", 1800.0)),
+        )
+    except (TypeError, ValueError) as exc:
+        raise SessionError(f"invalid task payload: {exc}") from exc
+
+
+def task_to_payload(task: Task) -> Dict[str, object]:
+    """Serialise a task back to the ``Trace.to_records`` vocabulary."""
+    return {
+        "task_id": task.task_id,
+        "task_type": int(task.task_type),
+        "num_pods": task.num_pods,
+        "gpus_per_pod": task.gpus_per_pod,
+        "duration": task.duration,
+        "submit_time": task.submit_time,
+        "org": task.org,
+        "gpu_model": task.gpu_model.value if task.gpu_model else None,
+        "gang": task.gang,
+        "checkpoint_interval": task.checkpoint_interval,
+    }
+
+
+def _action_from_payload(payload: Mapping[str, object]) -> DynamicsAction:
+    if "node_id" not in payload:
+        raise SessionError("dynamics payload missing required field: node_id")
+    return DynamicsAction(
+        node_id=str(payload["node_id"]),
+        cause=str(payload.get("cause", "failure")),
+        graceful=bool(payload.get("graceful", False)),
+        online=bool(payload.get("online", False)),
+    )
+
+
+_KIND_NAMES = {kind.name: kind for kind in DYNAMICS_EVENT_KINDS}
+
+
+# ----------------------------------------------------------------------
+# The session
+# ----------------------------------------------------------------------
+class SimulationSession:
+    """One live, incrementally-stepped simulation behind the service.
+
+    Construction mirrors one cell of the experiment grid — a scenario, a
+    scheduler from the registry, a cluster size — but instead of running
+    to completion the simulator sits live, accepting streamed
+    submissions, dynamics injections and bounded :meth:`advance` calls.
+    ``preload=True`` additionally submits the scenario's synthetic trace
+    up front (useful for what-if experiments against a realistic
+    background load); the scenario's trace is generated either way so
+    GFS-family schedulers get their demand history.
+    """
+
+    def __init__(self, params: Optional[Mapping[str, object]] = None, session_id: Optional[str] = None):
+        merged = dict(SESSION_DEFAULTS)
+        unknown = sorted(set(params or ()) - set(SESSION_DEFAULTS))
+        if unknown:
+            raise SessionError(
+                f"unknown session parameters: {', '.join(unknown)} "
+                f"(accepted: {', '.join(sorted(SESSION_DEFAULTS))})"
+            )
+        merged.update(params or {})
+        self.session_id = session_id or f"session-{next(_session_counter):04d}"
+        self.params = merged
+        try:
+            scenario = get_scenario(str(merged["scenario"]))
+            gpu_model = GPUModel(str(merged["gpu_model"]))
+            seed = int(merged["seed"])
+            num_nodes = int(merged["num_nodes"])
+            gpus_per_node = int(merged["gpus_per_node"])
+            duration_hours = float(merged["duration_hours"])
+            spot_scale = float(merged["spot_scale"])
+        except (KeyError, ValueError) as exc:
+            raise SessionError(f"invalid session parameters: {exc}") from exc
+
+        cluster: Cluster = scenario.build_cluster(num_nodes, gpus_per_node, gpu_model)
+        trace = scenario.build_trace(
+            cluster_gpus=cluster.total_gpus(),
+            duration_hours=duration_hours,
+            spot_scale=spot_scale,
+            seed=seed,
+            gpu_model=gpu_model,
+        )
+        scheduler = build_scheduler(SchedulerSpec(kind=str(merged["scheduler"])), trace)
+        dynamics = None
+        if merged["dynamics"]:
+            dynamics = FaultInjector(get_dynamics(str(merged["dynamics"])), seed=seed)
+        max_time = merged["max_time"]
+        config = SimulatorConfig(
+            tick_interval=float(merged["tick_interval"]),
+            max_time=float(max_time) if max_time is not None else None,
+        )
+        self.sim = ClusterSimulator(cluster, scheduler, config, dynamics=dynamics)
+        if merged["preload"]:
+            self.sim.submit_all(trace.sorted_tasks())
+
+    # ------------------------------------------------------------------
+    # Stepping
+    # ------------------------------------------------------------------
+    def status(self) -> Dict[str, object]:
+        """Cheap liveness summary (no metric computation)."""
+        sim = self.sim
+        return {
+            "session_id": self.session_id,
+            "scheduler": self.params["scheduler"],
+            "scenario": self.params["scenario"],
+            "now": sim.now,
+            "started": sim.started,
+            "done": sim.done,
+            "submitted_tasks": len(sim.all_tasks),
+            "pending_tasks": len(sim.pending),
+            "running_tasks": len(sim.cluster.running_tasks),
+            "heap_events": len(sim._events),
+        }
+
+    def advance(
+        self, until: Optional[float] = None, max_events: Optional[int] = None
+    ) -> Dict[str, object]:
+        """Step the simulator; returns processed-event count plus status."""
+        if until is not None:
+            until = float(until)
+        if max_events is not None:
+            max_events = int(max_events)
+            if max_events < 0:
+                raise SessionError("max_events must be non-negative")
+        processed = self.sim.advance(until=until, max_events=max_events)
+        result = self.status()
+        result["processed_events"] = processed
+        return result
+
+    def submit(self, payloads: Sequence[Mapping[str, object]]) -> Dict[str, object]:
+        """Submit a batch of task payloads; returns accepted task ids.
+
+        Validation is all-or-nothing: every payload is decoded before any
+        task reaches the simulator, so a malformed batch leaves the
+        session untouched.
+        """
+        tasks = [task_from_payload(p) for p in payloads]
+        ids = {t.task_id for t in tasks}
+        if len(ids) != len(tasks):
+            raise SessionError("duplicate task_id within one submit batch")
+        known = {t.task_id for t in self.sim.all_tasks}
+        clash = sorted(ids & known)
+        if clash:
+            raise SessionError(f"task ids already submitted: {', '.join(clash[:5])}")
+        for task in tasks:
+            self.sim.submit(task)
+        return {"accepted": [t.task_id for t in tasks], "now": self.sim.now}
+
+    def inject(self, payload: Mapping[str, object]) -> Dict[str, object]:
+        """Inject one dynamics action (node outage/return, capacity change)."""
+        action = _action_from_payload(payload)
+        kind_name = str(payload.get("kind", EventKind.CAPACITY_CHANGE.name))
+        kind = _KIND_NAMES.get(kind_name)
+        if kind is None:
+            raise SessionError(
+                f"unknown dynamics kind {kind_name!r} (accepted: {', '.join(sorted(_KIND_NAMES))})"
+            )
+        time = payload.get("time")
+        self.sim.inject(action, time=float(time) if time is not None else None, kind=kind)
+        return {"injected": action.node_id, "kind": kind.name, "now": self.sim.now}
+
+    # ------------------------------------------------------------------
+    # Live queries
+    # ------------------------------------------------------------------
+    def occupancy(self) -> Dict[str, object]:
+        """Live cluster occupancy: fleet aggregates, per-model capacity,
+        per-org running usage and queued demand.
+
+        Reads only O(1) aggregates and the incremental capacity index —
+        no metric computation, no task scans beyond the running set — so
+        clients can poll it at query rates without slowing the session.
+        """
+        sim = self.sim
+        stats = sim.cluster.stats()
+        return {
+            "session_id": self.session_id,
+            "now": sim.now,
+            "total_gpus": stats.total_gpus,
+            "idle_gpus": stats.idle_gpus,
+            "hp_gpus": stats.hp_gpus,
+            "spot_gpus": stats.spot_gpus,
+            "allocation_rate": stats.allocation_rate,
+            "running_hp_tasks": stats.running_hp_tasks,
+            "running_spot_tasks": stats.running_spot_tasks,
+            "pending_tasks": len(sim.pending),
+            "capacity": sim.cluster.capacity_index.summary(),
+            "org_usage": sim.cluster.org_usage(),
+            "org_queued_demand": sim.pending.org_demand(),
+        }
+
+    def quota(self) -> Dict[str, object]:
+        """Per-org quota headroom for high-priority work.
+
+        ``quota`` is the scheduler's live per-org HP quota when it
+        exposes one (GFS's SQA does, via ``current_quota()``); baselines
+        without quota accounting report ``null`` and clients fall back
+        to raw usage.  ``headroom = quota - hp_usage`` says how many more
+        HP GPUs an org can claim before the quota gate closes on it.
+        """
+        sim = self.sim
+        quota = None
+        if hasattr(sim.scheduler, "current_quota"):
+            quota = sim.scheduler.current_quota()
+        hp_usage = sim.cluster.org_usage(TaskType.HP)
+        hp_demand = sim.pending.org_demand(hp_only=True)
+        orgs = sorted(set(hp_usage) | set(hp_demand))
+        per_org = {}
+        for org in orgs:
+            used = hp_usage.get(org, 0.0)
+            entry: Dict[str, object] = {
+                "hp_gpus_running": used,
+                "hp_gpus_queued": hp_demand.get(org, 0.0),
+            }
+            if quota is not None:
+                entry["quota"] = quota
+                entry["headroom"] = max(0.0, quota - used)
+            per_org[org] = entry
+        return {
+            "session_id": self.session_id,
+            "now": sim.now,
+            "quota": quota,
+            "orgs": per_org,
+        }
+
+    def metrics(self) -> Dict[str, object]:
+        """Full simulation metrics of the run so far.
+
+        :meth:`~ClusterSimulator.finalize` is safe mid-run (the capacity
+        integral is incremental and idempotent), so live metric queries
+        never change what the session will eventually report.
+        """
+        return self.sim.finalize().as_dict()
+
+    def what_if(
+        self,
+        payload: Mapping[str, object],
+        horizon_hours: float = 24.0,
+    ) -> Dict[str, object]:
+        """Speculative placement advice: where would this task land?
+
+        Forks the live simulator, submits the candidate task into the
+        fork and advances it until the task finishes or the horizon
+        expires, then reports when the task would start and finish and
+        what it would displace.  The live session is untouched — the
+        fork shares no mutable state — and because the fork inherits the
+        full deterministic state, the advice is exact, not an estimate,
+        under the assumption of no further external submissions.
+        """
+        candidate = task_from_payload(payload)
+        horizon_hours = float(horizon_hours)
+        if horizon_hours <= 0:
+            raise SessionError("horizon_hours must be positive")
+        fork = self.sim.fork()
+        known = {t.task_id for t in fork.all_tasks}
+        if candidate.task_id in known:
+            raise SessionError(f"task id {candidate.task_id!r} already submitted")
+        evictions_before = sum(t.eviction_count for t in fork.all_tasks)
+        fork.submit(candidate)
+        deadline = max(fork.now, candidate.submit_time) + horizon_hours * 3600.0
+        # Bounded chunks so one advice request can never wedge the server
+        # on a pathological fork; the loop exits as soon as the candidate
+        # finishes, the horizon passes, or the fork drains.
+        while candidate.finish_time is None and not fork.done and fork.now < deadline:
+            if fork.advance(until=deadline, max_events=256) == 0:
+                break
+        evictions_caused = sum(t.eviction_count for t in fork.all_tasks) - evictions_before
+        started = candidate.first_start_time is not None
+        result: Dict[str, object] = {
+            "session_id": self.session_id,
+            "task_id": candidate.task_id,
+            "now": self.sim.now,
+            "horizon_hours": horizon_hours,
+            "would_start": started,
+            "would_finish": candidate.finish_time is not None,
+            "start_time": candidate.first_start_time,
+            "finish_time": candidate.finish_time,
+            "queue_wait": (
+                candidate.first_start_time - max(self.sim.now, candidate.submit_time)
+                if started
+                else None
+            ),
+            "spot_evictions_caused": evictions_caused,
+        }
+        return result
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore
+    # ------------------------------------------------------------------
+    def snapshot_bytes(self) -> bytes:
+        """The full session state as a versioned, checksummed envelope."""
+        from .snapshot import encode_snapshot
+
+        return encode_snapshot(self.sim.snapshot())
+
+    def restore_bytes(self, data: bytes) -> Dict[str, object]:
+        """Replace this session's simulator with a decoded snapshot."""
+        from .snapshot import decode_snapshot
+
+        self.sim = ClusterSimulator.restore(decode_snapshot(data))
+        return self.status()
+
+
+def reset_session_counter() -> None:
+    """Restart session-id numbering (test isolation)."""
+    global _session_counter
+    _session_counter = itertools.count(1)

@@ -1,0 +1,95 @@
+"""End-to-end smoke test of the scheduler service (``make serve-smoke``).
+
+Boots a real server on an ephemeral port, drives it through one complete
+streaming workflow — create a session, stream submissions, advance,
+query occupancy/quota/advice, snapshot and restore — and shuts it down
+cleanly.  Everything runs in-process (server task + async client in one
+event loop), so CI needs no port coordination and no subprocess reaping;
+a hang is caught by the overall timeout.
+
+Exit status is 0 only if every step returned the expected shape, which
+makes this the cheapest possible "did the service wiring break?" gate.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+
+from .client import AsyncServiceClient
+from .server import SchedulerServer
+
+#: hard wall-clock cap on the whole smoke run
+SMOKE_TIMEOUT_S = 120.0
+
+
+def _task(task_id: str, submit_time: float, hp: bool = False) -> dict:
+    return {
+        "task_id": task_id,
+        "task_type": 1 if hp else 0,
+        "num_pods": 1,
+        "gpus_per_pod": 4.0,
+        "duration": 1800.0,
+        "submit_time": submit_time,
+        "org": "smoke-org",
+    }
+
+
+async def _run() -> int:
+    server = SchedulerServer()
+    await server.start(port=0)
+    server_task = asyncio.ensure_future(server.wait_closed())
+    client = AsyncServiceClient(server.host, server.port)
+    try:
+        health = await client.healthz()
+        assert health["status"] == "ok", health
+
+        session = await client.create_session(scheduler="gfs", num_nodes=8, duration_hours=4.0)
+        sid = session["session_id"]
+        print(f"[serve-smoke] session {sid} on {server.host}:{server.port}")
+
+        # Stream two submission waves with an advance in between.
+        await client.submit(sid, [_task(f"smoke-a{i}", i * 60.0) for i in range(8)])
+        step = await client.advance(sid, until=1800.0)
+        assert step["processed_events"] > 0, step
+        await client.submit(sid, [_task(f"smoke-b{i}", 1800.0, hp=True) for i in range(4)])
+
+        occupancy = await client.occupancy(sid)
+        assert occupancy["total_gpus"] > 0, occupancy
+        quota = await client.quota(sid)
+        assert "orgs" in quota, quota
+        advice = await client.what_if(sid, _task("smoke-whatif", 1800.0), horizon_hours=12.0)
+        assert advice["task_id"] == "smoke-whatif", advice
+        print(
+            f"[serve-smoke] occupancy rate={occupancy['allocation_rate']:.2f} "
+            f"whatif start={advice['start_time']}"
+        )
+
+        # Snapshot, keep advancing, then restore and check we went back.
+        snap = await client.snapshot(sid)
+        now_at_snap = (await client.status(sid))["now"]
+        await client.advance(sid, until=now_at_snap + 3600.0)
+        restored = await client.restore(sid, snap)
+        assert restored["now"] == now_at_snap, (restored["now"], now_at_snap)
+        print(f"[serve-smoke] snapshot round-trip ok ({len(snap)} bytes, now={now_at_snap:.0f})")
+
+        metrics = await client.metrics(sid)
+        assert "makespan_hours" in metrics or metrics, metrics
+        await client.delete_session(sid)
+        await client.shutdown()
+        await asyncio.wait_for(server_task, timeout=10.0)
+        print("[serve-smoke] OK")
+        return 0
+    finally:
+        await client.close()
+        if not server_task.done():
+            await server.stop()
+            server_task.cancel()
+
+
+def main() -> int:
+    return asyncio.run(asyncio.wait_for(_run(), timeout=SMOKE_TIMEOUT_S))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

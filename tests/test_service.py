@@ -1,0 +1,297 @@
+"""Scheduler service tests: sessions, the HTTP server, and concurrency.
+
+The load-bearing guarantees:
+
+* **query-load independence** — a session hammered with live queries
+  (occupancy, quota, what-if forks) produces metrics bit-identical to a
+  session advanced quietly, and to a direct in-process
+  :class:`SimulationSession` with the same inputs;
+* **cross-session isolation** — N concurrent asyncio clients driving N
+  sessions with different schedulers interleave arbitrarily on one
+  server, and every session still matches its single-session reference;
+* **error paths** — malformed payloads, unknown sessions/routes and
+  corrupt snapshots surface as typed HTTP errors, never as wedged
+  connections or crashed servers;
+* **snapshot over HTTP** — export → keep advancing → restore rewinds
+  the session, and the continuation matches the uninterrupted run.
+
+pytest-asyncio is deliberately not a dependency: each test owns its
+loop via ``asyncio.run`` so the suite runs on the baked-in toolchain.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service import AsyncServiceClient, SchedulerServer, ServiceError
+from repro.service.session import (
+    SessionError,
+    SimulationSession,
+    task_from_payload,
+    task_to_payload,
+)
+
+#: compact session so every server test stays sub-second per operation
+PARAMS = {"scheduler": "gfs", "num_nodes": 6, "duration_hours": 4.0, "seed": 11}
+
+
+def _payload(task_id: str, submit_time: float, *, hp: bool = False, gpus: float = 4.0) -> dict:
+    return {
+        "task_id": task_id,
+        "task_type": 1 if hp else 0,
+        "num_pods": 1,
+        "gpus_per_pod": gpus,
+        "duration": 1800.0,
+        "submit_time": submit_time,
+        "org": "org-a" if hp else "org-b",
+    }
+
+
+def _wave(prefix: str, count: int, start: float = 0.0) -> list:
+    return [_payload(f"{prefix}-{i:03d}", start + i * 120.0, hp=(i % 3 == 0)) for i in range(count)]
+
+
+def _metrics_fingerprint(metrics: dict) -> str:
+    """Comparable form of a metrics dict (NaN-stable via JSON tokens)."""
+    return json.dumps(metrics, sort_keys=True)
+
+
+def _reference_metrics(waves) -> str:
+    """Metrics of a quiet in-process session fed the same submissions."""
+    session = SimulationSession(PARAMS)
+    for advance_to, wave in waves:
+        if wave:
+            session.submit(wave)
+        session.advance(until=advance_to)
+    session.advance()
+    return _metrics_fingerprint(session.metrics())
+
+
+# ----------------------------------------------------------------------
+# Session layer (no server)
+# ----------------------------------------------------------------------
+def test_task_payload_codec_roundtrip():
+    payload = _payload("codec-001", 120.0, hp=True)
+    task = task_from_payload(payload)
+    assert task_to_payload(task) == {**payload, "gang": False, "gpu_model": None,
+                                     "checkpoint_interval": 1800.0}
+
+
+def test_task_payload_rejects_missing_fields_and_bad_values():
+    with pytest.raises(SessionError, match="missing required"):
+        task_from_payload({"task_id": "x"})
+    with pytest.raises(SessionError, match="invalid task payload"):
+        task_from_payload({"task_id": "x", "num_pods": "many", "gpus_per_pod": 1, "duration": 1})
+
+
+def test_session_rejects_unknown_parameters():
+    with pytest.raises(SessionError, match="unknown session parameters"):
+        SimulationSession({"schedulr": "gfs"})
+
+
+def test_session_rejects_duplicate_and_replayed_task_ids():
+    session = SimulationSession(PARAMS)
+    with pytest.raises(SessionError, match="duplicate task_id"):
+        session.submit([_payload("dup", 0.0), _payload("dup", 60.0)])
+    session.submit([_payload("once", 0.0)])
+    with pytest.raises(SessionError, match="already submitted"):
+        session.submit([_payload("once", 120.0)])
+
+
+def test_session_live_views_have_expected_shape():
+    session = SimulationSession(PARAMS)
+    session.submit(_wave("shape", 6))
+    session.advance(until=1800.0)
+    occupancy = session.occupancy()
+    assert occupancy["total_gpus"] == 6 * 8
+    assert occupancy["allocation_rate"] > 0
+    assert set(occupancy["capacity"]) == {"A100"}
+    quota = session.quota()
+    assert quota["quota"] is not None  # GFS exposes its SQA quota
+    for org in quota["orgs"].values():
+        assert org["headroom"] >= 0.0
+    baseline = SimulationSession({**PARAMS, "scheduler": "yarn-cs"})
+    assert baseline.quota()["quota"] is None  # baselines have no quota loop
+
+
+def test_what_if_answers_without_perturbing_the_session():
+    session = SimulationSession(PARAMS)
+    session.submit(_wave("wif", 8))
+    session.advance(until=1800.0)
+    before = session.status()
+    advice = session.what_if(_payload("wif-probe", 1800.0), horizon_hours=8.0)
+    assert advice["would_start"] and advice["would_finish"]
+    assert advice["queue_wait"] >= 0.0
+    assert session.status() == before  # the fork never touches the live sim
+    assert all(t.task_id != "wif-probe" for t in session.sim.all_tasks)
+
+
+def test_preloaded_session_carries_scenario_trace():
+    session = SimulationSession({**PARAMS, "preload": True})
+    assert session.status()["submitted_tasks"] > 0
+
+
+# ----------------------------------------------------------------------
+# Server end-to-end
+# ----------------------------------------------------------------------
+async def _with_server(body):
+    server = SchedulerServer()
+    await server.start(port=0)
+    try:
+        return await body(server)
+    finally:
+        await server.stop()
+
+
+def test_http_session_lifecycle_and_errors():
+    async def body(server):
+        client = AsyncServiceClient(server.host, server.port)
+        try:
+            assert (await client.healthz())["status"] == "ok"
+            session = await client.create_session(**PARAMS)
+            sid = session["session_id"]
+            assert [s["session_id"] for s in await client.list_sessions()] == [sid]
+
+            with pytest.raises(ServiceError) as err:
+                await client.status("no-such-session")
+            assert err.value.status == 404
+            with pytest.raises(ServiceError) as err:
+                await client.create_session(bogus_param=1)
+            assert err.value.status == 400
+            with pytest.raises(ServiceError) as err:
+                await client.submit(sid, [])
+            assert err.value.status == 400
+            with pytest.raises(ServiceError) as err:
+                await client.inject(sid, node_id="a100-sim-0000", kind="NOT_A_KIND")
+            assert err.value.status == 400
+            with pytest.raises(ServiceError) as err:
+                await client.restore(sid, b"REPROSNPgarbage-that-is-not-an-envelope")
+            assert err.value.status == 400
+            with pytest.raises(ServiceError) as err:
+                await client._request("PUT", f"/sessions/{sid}/advance")
+            assert err.value.status == 404
+
+            # The connection survived every error above (keep-alive intact).
+            assert (await client.status(sid))["session_id"] == sid
+            await client.delete_session(sid)
+            with pytest.raises(ServiceError) as err:
+                await client.status(sid)
+            assert err.value.status == 404
+        finally:
+            await client.close()
+
+    asyncio.run(_with_server(body))
+
+
+def test_http_snapshot_restore_rewinds_session():
+    async def body(server):
+        client = AsyncServiceClient(server.host, server.port)
+        try:
+            sid = (await client.create_session(**PARAMS))["session_id"]
+            await client.submit(sid, _wave("snap", 10))
+            await client.advance(sid, until=1800.0)
+            blob = await client.snapshot(sid)
+            now_at_snap = (await client.status(sid))["now"]
+            reference = _metrics_fingerprint(
+                await self_advance_and_metrics(client, sid)
+            )
+            restored = await client.restore(sid, blob)
+            assert restored["now"] == now_at_snap
+            await client.advance(sid)
+            assert _metrics_fingerprint(await client.metrics(sid)) == reference
+        finally:
+            await client.close()
+
+    async def self_advance_and_metrics(client, sid):
+        await client.advance(sid)
+        return await client.metrics(sid)
+
+    asyncio.run(_with_server(body))
+
+
+def test_query_load_does_not_change_session_metrics():
+    """A hammered session == a quiet session == the in-process reference."""
+    waves = [(900.0, _wave("load", 6)), (2700.0, _wave("load2", 6, start=900.0)), (None, [])]
+    reference = _reference_metrics(waves)
+
+    async def body(server):
+        quiet = AsyncServiceClient(server.host, server.port)
+        noisy = AsyncServiceClient(server.host, server.port)
+        prober = AsyncServiceClient(server.host, server.port)
+        try:
+            quiet_id = (await quiet.create_session(**PARAMS))["session_id"]
+            noisy_id = (await noisy.create_session(**PARAMS))["session_id"]
+
+            async def drive(client, sid):
+                for advance_to, wave in waves:
+                    if wave:
+                        await client.submit(sid, wave)
+                    await client.advance(sid, until=advance_to)
+                await client.advance(sid)
+                return _metrics_fingerprint(await client.metrics(sid))
+
+            async def hammer(sid, stop):
+                queries = 0
+                while not stop.is_set():
+                    await prober.occupancy(sid)
+                    await prober.quota(sid)
+                    await prober.what_if(sid, _payload(f"probe-{queries}", 0.0), 2.0)
+                    queries += 1
+                return queries
+
+            stop = asyncio.Event()
+            hammer_task = asyncio.ensure_future(hammer(noisy_id, stop))
+            quiet_result, noisy_result = await asyncio.gather(
+                drive(quiet, quiet_id), drive(noisy, noisy_id)
+            )
+            stop.set()
+            queries = await hammer_task
+            assert queries > 0, "the query hammer never ran"
+            assert noisy_result == quiet_result == reference
+        finally:
+            await quiet.close()
+            await noisy.close()
+            await prober.close()
+
+    asyncio.run(_with_server(body))
+
+
+def test_concurrent_clients_keep_sessions_isolated():
+    """N clients, N sessions, different schedulers, one server — every
+    session must match the single-session run of the same inputs."""
+    schedulers = ("gfs", "fgd", "yarn-cs", "chronus")
+
+    def reference(kind):
+        session = SimulationSession({**PARAMS, "scheduler": kind})
+        session.submit(_wave(f"iso-{kind}", 8))
+        session.advance()
+        return _metrics_fingerprint(session.metrics())
+
+    references = {kind: reference(kind) for kind in schedulers}
+
+    async def body(server):
+        async def worker(kind):
+            client = AsyncServiceClient(server.host, server.port)
+            try:
+                sid = (await client.create_session(**{**PARAMS, "scheduler": kind}))[
+                    "session_id"
+                ]
+                # Interleave in small steps so the server genuinely
+                # multiplexes sessions rather than serialising whole runs.
+                await client.submit(sid, _wave(f"iso-{kind}", 8))
+                for stop in (600.0, 1200.0, 2400.0):
+                    await client.advance(sid, until=stop, max_events=32)
+                    await client.occupancy(sid)
+                await client.advance(sid)
+                return kind, _metrics_fingerprint(await client.metrics(sid))
+            finally:
+                await client.close()
+
+        return dict(await asyncio.gather(*(worker(k) for k in schedulers)))
+
+    results = asyncio.run(_with_server(body))
+    for kind in schedulers:
+        assert results[kind] == references[kind], f"session isolation broke for {kind}"

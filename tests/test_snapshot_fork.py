@@ -1,0 +1,211 @@
+"""Snapshot / restore / fork correctness (streaming service mode).
+
+The service's what-if advice and session persistence are only sound if
+a snapshot really captures *everything*: restore at an arbitrary mid-run
+point and the continuation must be bit-identical to the uninterrupted
+run — including restarts taken mid-dynamics-outage (nodes offline, kill
+accounting half-accumulated) and with same-timestamp ties sitting
+unprocessed in the event heap.  Forks must be perfectly isolated: a
+fully-advanced fork must not move the live simulator by one bit.
+
+All round-trip tests run with ``REPRO_VALIDATE_AGGREGATES`` enabled, so
+a restored cluster whose O(1) aggregates drifted from its node state
+fails loudly inside the run, not just at the final metric compare.
+
+The service's wire envelope (versioned + checksummed, see
+:mod:`repro.service.snapshot`) is covered at the bottom: every
+corruption mode must collapse into ``SnapshotError`` before unpickling.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.conftest import assert_metrics_identical, build_task
+from tests.test_stepping_determinism import DURATION_HOURS, SCHEDULERS, build_sim
+from repro.cluster.simulator import ClusterSimulator, SimulationError
+from repro.service.snapshot import (
+    SNAPSHOT_VERSION,
+    SnapshotError,
+    decode_snapshot,
+    encode_snapshot,
+    snapshot_from_text,
+    snapshot_to_text,
+)
+
+
+@pytest.fixture(autouse=True)
+def _validate_aggregates(monkeypatch):
+    """Run every cluster in this file with aggregate self-validation on."""
+    monkeypatch.setenv("REPRO_VALIDATE_AGGREGATES", "1")
+
+
+def _roundtrip_continue(scheduler_kind: str, scenario: str, stop_time: float):
+    """Advance to ``stop_time``, snapshot, restore, drain the restored sim."""
+    sim = build_sim(scheduler_kind, scenario)
+    sim.advance(until=stop_time)
+    blob = sim.snapshot()
+    restored = ClusterSimulator.restore(blob)
+    restored.advance()
+    return restored.finalize()
+
+
+# ----------------------------------------------------------------------
+# Round-trip == uninterrupted, at arbitrary stop points
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("fraction", [0.0, 0.15, 0.5, 0.85, 1.2])
+def test_snapshot_roundtrip_at_arbitrary_points(fraction):
+    batch = build_sim("gfs").run()
+    stop = DURATION_HOURS * 3600.0 * fraction
+    continued = _roundtrip_continue("gfs", "default", stop)
+    assert_metrics_identical(continued, batch, f"roundtrip@{fraction}")
+
+
+@pytest.mark.parametrize("scheduler_kind", SCHEDULERS)
+def test_snapshot_roundtrip_every_scheduler_family(scheduler_kind):
+    """Every registry scheduler (RNGs, SQA/GDE state, PTS caches) must
+    survive pickling mid-run."""
+    batch = build_sim(scheduler_kind, "hetero").run()
+    continued = _roundtrip_continue(scheduler_kind, "hetero", DURATION_HOURS * 1800.0)
+    assert_metrics_identical(continued, batch, f"roundtrip/{scheduler_kind}")
+
+
+def test_snapshot_roundtrip_mid_dynamics_outage():
+    """Restore while nodes are offline and kills are half-accounted."""
+    batch = build_sim("gfs", "node_churn").run()
+
+    sim = build_sim("gfs", "node_churn")
+    # Step until the fleet actually has an offline node, so the snapshot
+    # catches a live outage window (not just the quiet state between).
+    step = 1800.0
+    while not sim.done and all(n.available for n in sim.cluster.nodes):
+        sim.advance(until=sim.now + step)
+    assert any(not n.available for n in sim.cluster.nodes), (
+        "node_churn produced no outage to snapshot inside"
+    )
+    restored = ClusterSimulator.restore(sim.snapshot())
+    assert any(not n.available for n in restored.cluster.nodes)
+    restored.advance()
+    assert_metrics_identical(restored.finalize(), batch, "mid-outage roundtrip")
+
+
+def test_snapshot_roundtrip_with_heaped_same_timestamp_ties():
+    """Snapshot taken while tied-timestamp events sit unprocessed."""
+    def build(submit_late):
+        sim = build_sim("gfs", submit=False)
+        base = [
+            build_task(duration=1800.0, submit_time=i * 600.0, gpus_per_pod=4.0, num_pods=2)
+            for i in range(8)
+        ]
+        sim.submit_all(base)
+        if submit_late:
+            sim.submit(build_task(duration=900.0, submit_time=3600.0, gpus_per_pod=2.0,
+                                  task_id="aaa-tied-id"))
+        return sim
+
+    reference = build(submit_late=True)
+    batch = reference.run()
+
+    sim = build(submit_late=False)
+    sim.advance(until=3000.0)
+    # The tie arrives mid-flight, then the snapshot catches it heaped
+    # but unprocessed next to the equal-timestamp batch arrival.
+    sim.submit(build_task(duration=900.0, submit_time=3600.0, gpus_per_pod=2.0,
+                          task_id="aaa-tied-id"))
+    restored = ClusterSimulator.restore(sim.snapshot())
+    restored.advance()
+    assert_metrics_identical(restored.finalize(), batch, "tied-heap roundtrip")
+
+
+def test_double_restore_runs_are_independent_and_identical():
+    sim = build_sim("fgd")
+    sim.advance(until=DURATION_HOURS * 1800.0)
+    blob = sim.snapshot()
+    first = ClusterSimulator.restore(blob)
+    second = ClusterSimulator.restore(blob)
+    first.advance()
+    second.advance()
+    assert_metrics_identical(first.finalize(), second.finalize(), "double restore")
+
+
+def test_restore_rejects_non_simulator_pickle():
+    import pickle
+
+    with pytest.raises(SimulationError):
+        ClusterSimulator.restore(pickle.dumps({"not": "a simulator"}))
+
+
+# ----------------------------------------------------------------------
+# Fork isolation
+# ----------------------------------------------------------------------
+def test_fork_is_fully_isolated_from_live_simulator():
+    """Draining a fork (incl. extra submissions) must not move the live
+    sim: its continuation still matches the uninterrupted batch run."""
+    batch = build_sim("gfs").run()
+
+    live = build_sim("gfs")
+    live.advance(until=DURATION_HOURS * 1200.0)
+    pending_before = [t.task_id for t in live.pending]
+    now_before = live.now
+
+    fork = live.fork()
+    fork.submit(build_task(duration=3600.0, submit_time=fork.now, gpus_per_pod=8.0,
+                           task_id="whatif-probe"))
+    fork.advance()
+    assert fork.now >= now_before
+
+    assert live.now == now_before
+    assert [t.task_id for t in live.pending] == pending_before
+    assert all(t.task_id != "whatif-probe" for t in live.all_tasks)
+    live.advance()
+    assert_metrics_identical(live.finalize(), batch, "live after fork drain")
+
+
+def test_fork_of_restored_snapshot_matches_original_continuation():
+    """fork → advance == restore → advance: both copies see one future."""
+    sim = build_sim("chronus")
+    sim.advance(until=DURATION_HOURS * 1800.0)
+    blob = sim.snapshot()
+    forked = sim.fork()
+    forked.advance()
+    restored = ClusterSimulator.restore(blob)
+    restored.advance()
+    assert_metrics_identical(forked.finalize(), restored.finalize(), "fork vs restore")
+
+
+# ----------------------------------------------------------------------
+# The service wire envelope
+# ----------------------------------------------------------------------
+def test_envelope_roundtrip_preserves_payload():
+    raw = b"arbitrary snapshot payload" * 100
+    assert decode_snapshot(encode_snapshot(raw)) == raw
+
+
+def test_envelope_base64_roundtrip():
+    raw = b"\x00\xffbinary"
+    envelope = encode_snapshot(raw)
+    assert snapshot_from_text(snapshot_to_text(envelope)) == envelope
+
+
+@pytest.mark.parametrize(
+    "mutilate, match",
+    [
+        (lambda e: e[: len(e) // 2], "checksum|short"),
+        (lambda e: e[:10], "too short"),
+        (lambda e: b"NOTSNAPS" + e[8:], "bad magic"),
+        (lambda e: e[:8] + bytes([0, SNAPSHOT_VERSION + 1]) + e[10:], "version"),
+        (lambda e: e[:-3] + b"xyz", "checksum"),
+        (lambda e: e[:42] + bytes([e[42] ^ 0xFF]) + e[43:], "checksum"),
+    ],
+    ids=["truncated-half", "truncated-header", "bad-magic", "future-version",
+         "tail-corruption", "payload-bitflip"],
+)
+def test_envelope_rejects_every_corruption_mode(mutilate, match):
+    envelope = encode_snapshot(b"payload bytes that will be damaged in transit")
+    with pytest.raises(SnapshotError, match=match):
+        decode_snapshot(mutilate(envelope))
+
+
+def test_envelope_rejects_bad_base64():
+    with pytest.raises(SnapshotError, match="base64"):
+        snapshot_from_text("this is !!! not base64")
