@@ -5,7 +5,11 @@ PYTHON      ?= python
 PYTHONPATH  := src
 export PYTHONPATH
 
-.PHONY: test bench bench-scaling bench-record perf-smoke lint verify sweep trace-smoke chaos-smoke serve-smoke all
+.PHONY: test bench bench-scaling bench-record perf-smoke lint verify sweep trace-smoke chaos-smoke serve-smoke profile obs-smoke all
+
+# Knobs for `make profile` (self-profiler tier/scheduler).
+PROFILE_TIER      ?= full
+PROFILE_SCHEDULER ?= chronus
 
 # Knobs for `make sweep` (scenario library + parallel experiment engine).
 SCENARIO ?= burst
@@ -43,6 +47,8 @@ bench-record:
 		$(PYTHON) -m pytest benchmarks/test_bench_dynamics.py -q -s
 	REPRO_BENCH_SERVICE_TIER=full REPRO_BENCH_RECORD=1 REPRO_BENCH_ENFORCE=1 \
 		$(PYTHON) -m pytest benchmarks/test_bench_service.py -q -s
+	REPRO_BENCH_OBS_TIER=full REPRO_BENCH_RECORD=1 REPRO_BENCH_ENFORCE=1 \
+		$(PYTHON) -m pytest benchmarks/test_bench_obs.py -q -s
 
 ## Reduced placement benchmark used by the CI perf gate: fails when the
 ## measured speedup ratio regresses >20% vs the checked-in reference.
@@ -75,6 +81,22 @@ chaos-smoke:
 	$(PYTHON) -m repro.experiments.cli sweep --scenario node_churn \
 		--scale small --workers 2 --spot-scale 2.0
 	$(PYTHON) -m pytest benchmarks/test_bench_dynamics.py tests/test_chaos_scenarios.py -q
+
+## Self-profiler: wall-clock phase breakdown (event dispatch vs placement
+## search vs metric accrual) of the placement-bound benchmark tier, with
+## the instrumentation-off baseline and metric-parity check.  E.g.
+##   make profile PROFILE_TIER=smoke
+profile:
+	$(PYTHON) -m repro.experiments.cli profile \
+		--tier $(PROFILE_TIER) --scheduler $(PROFILE_SCHEDULER) --check-overhead
+
+## Observability smoke for CI: profile + trace export on the smoke tier,
+## plus the /metrics scrape exercised by the service smoke.
+obs-smoke:
+	$(PYTHON) -m repro.experiments.cli profile --tier smoke --check-overhead
+	$(PYTHON) -m repro.experiments.cli trace-viz --scenario node_churn \
+		--nodes 16 --hours 4.0 --trace-out .obs-smoke-trace.json
+	$(PYTHON) -m repro.service.smoke
 
 ## Service smoke: boot the streaming scheduler server in-process, drive
 ## one full session lifecycle over HTTP (create, stream submissions,

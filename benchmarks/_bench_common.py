@@ -40,3 +40,10 @@ def assert_metrics_identical(new: SimulationMetrics, old: SimulationMetrics, lab
         assert values_equal(new_value, old_value), (
             f"[{label}] {field_name}: optimized {new_value!r} != reference {old_value!r}"
         )
+
+
+#: Version stamp written into every ``BENCH_*.json`` perf record.
+#: Version 2 adds the ``schema_version`` field itself plus the BENCH_7
+#: observability-overhead record; bump it whenever a record's fields
+#: change shape so downstream tooling can branch on it.
+BENCH_SCHEMA_VERSION = 2

@@ -32,7 +32,7 @@ import time
 from pathlib import Path
 from typing import Dict
 
-from _bench_common import assert_metrics_identical
+from _bench_common import BENCH_SCHEMA_VERSION, assert_metrics_identical
 from repro.cluster import Cluster, ClusterSimulator, GPUModel, SimulatorConfig, reset_task_counter
 from repro.dynamics import FaultInjector, get_dynamics
 from repro.schedulers import ChronusScheduler
@@ -76,6 +76,7 @@ def _record_bench5(tier: str, num_tasks: int, static_time: float, churn_time: fl
     """Write the machine-readable perf record for the bench trajectory."""
     cfg = DYNAMICS_CONFIGS[tier]
     record = {
+        "schema_version": BENCH_SCHEMA_VERSION,
         "bench": "dynamics-churn",
         "pr": 5,
         "tier": tier,

@@ -50,7 +50,7 @@ import time
 from pathlib import Path
 from typing import Dict, List, Optional
 
-from _bench_common import assert_metrics_identical
+from _bench_common import BENCH_SCHEMA_VERSION, assert_metrics_identical
 from legacy import create_legacy_scheduler
 from repro.cluster import Cluster, ClusterSimulator, EventKind, GPUModel, SimulatorConfig
 from repro.cluster.metrics import SimulationMetrics
@@ -169,7 +169,9 @@ class LegacyClusterSimulator(ClusterSimulator):
         super().__init__(cluster, scheduler, config)
         self.pending = []  # plain list, O(P) membership / removal
 
-    def _schedule_pending(self, only=None):
+    def _schedule_pending(self, only=None, trigger=None):
+        # `trigger` is observability metadata only; the legacy engine
+        # predates the obs layer and records nothing.
         if not self.pending:
             return
         if only is not None:
@@ -373,8 +375,13 @@ PLACEMENT_REFERENCE: Dict[str, Dict[str, float]] = {
 }
 
 #: Allowed regression of the measured speedup ratio vs the recorded
-#: reference before the perf-smoke gate fails (satellite: ">20% fails").
-PLACEMENT_REGRESSION_TOLERANCE = 0.20
+#: reference before the perf-smoke gate fails (">20% fails").  The CI
+#: obs-smoke overhead gate tightens this to 0.05 via the environment
+#: variable: with the observability layer in the hot path, the default
+#: NullRecorder run must stay within 5% of the recorded ratio.
+PLACEMENT_REGRESSION_TOLERANCE = float(
+    os.environ.get("REPRO_BENCH_PLACEMENT_TOLERANCE", "0.20")
+)
 
 
 def _run_placement(tier: str, legacy: bool):
@@ -401,6 +408,7 @@ def _record_bench4(tier: str, num_tasks: int, opt_time: float, leg_time: float) 
     reference = PLACEMENT_REFERENCE[tier]
     cfg = PLACEMENT_CONFIGS[tier]
     record = {
+        "schema_version": BENCH_SCHEMA_VERSION,
         "bench": "placement-scaling",
         "pr": 4,
         "tier": tier,

@@ -33,6 +33,7 @@ import time
 from pathlib import Path
 from typing import Dict
 
+from _bench_common import BENCH_SCHEMA_VERSION
 from repro.cluster.metrics import percentile
 from repro.service import AsyncServiceClient, SchedulerServer
 
@@ -119,6 +120,7 @@ async def _drive(cfg: Dict[str, float]) -> Dict[str, float]:
 
 def _record_bench6(tier: str, cfg: Dict[str, float], result: Dict[str, float]) -> None:
     record = {
+        "schema_version": BENCH_SCHEMA_VERSION,
         "bench": "service-streaming",
         "pr": 6,
         "tier": tier,

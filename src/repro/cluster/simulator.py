@@ -59,8 +59,10 @@ import inspect
 import itertools
 import pickle
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence
 
+from ..obs.recorder import NULL_RECORDER, EventLoopCounters, PassRecord, TickSample
 from .cluster import Cluster
 from .events import DYNAMICS_EVENT_KINDS, DynamicsAction, Event, EventKind, SchedulingDecision
 from .metrics import DynamicsCounts, SimulationMetrics, compute_metrics
@@ -148,6 +150,7 @@ class ClusterSimulator:
         scheduler,
         config: Optional[SimulatorConfig] = None,
         dynamics=None,
+        recorder=None,
     ):
         self.cluster = cluster
         self.scheduler = scheduler
@@ -156,6 +159,12 @@ class ClusterSimulator:
         #: ``schedule(cluster) -> DynamicsSchedule`` works (duck-typed so
         #: the cluster package never imports :mod:`repro.dynamics`)
         self.dynamics = dynamics
+        #: instrumentation sink (:mod:`repro.obs`); the shared no-op
+        #: :data:`~repro.obs.NULL_RECORDER` by default, so every hook
+        #: point below costs one ``.enabled`` attribute check.  A real
+        #: :class:`~repro.obs.Recorder` never perturbs the run: the
+        #: parity suite asserts bit-identical metrics either way.
+        self.obs = recorder if recorder is not None else NULL_RECORDER
         self.now: float = 0.0
         self._events: List[Event] = []
         self._seq = itertools.count()
@@ -164,11 +173,10 @@ class ClusterSimulator:
         self.all_tasks: List[Task] = []
         #: run epoch per task; finish events from stale epochs are ignored
         self._epochs: Dict[str, int] = {}
-        #: per-kind event counters (arrivals+finishes / dynamics / ticks) so
-        #: liveness decisions never scan the heap
-        self._task_events: int = 0
-        self._dynamics_events: int = 0
-        self._tick_events: int = 0
+        #: per-kind counters of heaped events (arrivals+finishes / dynamics
+        #: / ticks) so liveness decisions never scan the heap; the single
+        #: source of truth behind the ``_task_events`` shim properties
+        self._event_counts = EventLoopCounters()
         #: dynamics bookkeeping: event counters and the paid-capacity integral
         self.dynamics_counts = DynamicsCounts()
         self._paid_gpu_seconds: float = 0.0
@@ -205,12 +213,62 @@ class ClusterSimulator:
     # Event plumbing
     # ------------------------------------------------------------------
     def _count_event(self, kind: EventKind, delta: int) -> None:
-        if kind is EventKind.QUOTA_TICK:
-            self._tick_events += delta
-        elif kind in DYNAMICS_EVENT_KINDS:
-            self._dynamics_events += delta
-        else:
-            self._task_events += delta
+        """Thin shim over :class:`~repro.obs.EventLoopCounters`.
+
+        Kept under its pre-obs name so subclasses and tests that called
+        it keep working; the counters themselves now live on
+        ``self._event_counts`` (see the ``_task_events`` properties).
+        """
+        self._event_counts.count(
+            kind is EventKind.QUOTA_TICK, kind in DYNAMICS_EVENT_KINDS, delta
+        )
+
+    @property
+    def _task_events(self) -> int:
+        """Read-only shim: heaped arrival/finish events (pre-obs name)."""
+        return self._event_counts.task_events
+
+    @property
+    def _dynamics_events(self) -> int:
+        """Read-only shim: heaped dynamics events (pre-obs name)."""
+        return self._event_counts.dynamics_events
+
+    @property
+    def _tick_events(self) -> int:
+        """Read-only shim: heaped quota-tick events (pre-obs name)."""
+        return self._event_counts.tick_events
+
+    def __getstate__(self) -> Dict[str, object]:
+        """Pickle without the attached recorder.
+
+        Instrumentation is host-local observation, not simulation state:
+        snapshots stay deterministic (a live recorder holds wall-clock
+        histograms) and forks start unobserved — a what-if fork must not
+        pollute the live session's metrics.  Callers that want an
+        instrumented restore reattach a recorder explicitly (the service
+        session does).
+        """
+        state = dict(self.__dict__)
+        state["obs"] = NULL_RECORDER
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        """Restore from pickle, migrating pre-obs snapshots.
+
+        Snapshots taken before the observability layer carry plain
+        ``_task_events`` / ``_dynamics_events`` / ``_tick_events`` ints
+        (now shadowed by shim properties) and no ``obs`` attribute; fold
+        the ints into an :class:`~repro.obs.EventLoopCounters` and attach
+        the null recorder so old snapshots keep round-tripping.
+        """
+        if "_event_counts" not in state:
+            state["_event_counts"] = EventLoopCounters(
+                task_events=int(state.pop("_task_events", 0)),
+                dynamics_events=int(state.pop("_dynamics_events", 0)),
+                tick_events=int(state.pop("_tick_events", 0)),
+            )
+        state.setdefault("obs", NULL_RECORDER)
+        self.__dict__.update(state)
 
     def _push(
         self,
@@ -356,6 +414,7 @@ class ClusterSimulator:
         if not self._started:
             self.start()
         processed = 0
+        rec = self.obs
         while self._events:
             head = self._events[0]
             if until is not None and head.time > until:
@@ -369,7 +428,7 @@ class ClusterSimulator:
             # affect any result and are abandoned unprocessed.
             if (
                 head.kind in DYNAMICS_EVENT_KINDS
-                and self._task_events == 0
+                and self._event_counts.task_events == 0
                 and not self.pending
                 and not self.cluster.running_tasks
             ):
@@ -378,6 +437,7 @@ class ClusterSimulator:
                 break
             event = self._pop()
             self.now = event.time
+            dispatch_start = perf_counter() if rec.enabled else 0.0
             if event.kind is EventKind.TASK_ARRIVAL:
                 self._handle_arrival(event.task)
             elif event.kind is EventKind.TASK_FINISH:
@@ -387,6 +447,8 @@ class ClusterSimulator:
             elif event.kind in DYNAMICS_EVENT_KINDS:
                 self._handle_dynamics(event)
             # SAMPLE events are folded into ticks.
+            if rec.enabled:
+                rec.record_dispatch(event.kind.name, perf_counter() - dispatch_start)
             processed += 1
         return processed
 
@@ -406,6 +468,9 @@ class ClusterSimulator:
         events, which fold it themselves).
         """
         self._accrue_capacity()
+        if self.obs.enabled:
+            with self.obs.span("sim.metric_accrual_s"):
+                return self.collect_metrics()
         return self.collect_metrics()
 
     # ------------------------------------------------------------------
@@ -459,7 +524,7 @@ class ClusterSimulator:
         # Arrivals only trigger a scheduling attempt for the new task; the
         # full queue is re-examined on completions and periodic ticks.  This
         # keeps the event loop close to linear in the number of events.
-        self._schedule_pending(only=task)
+        self._schedule_pending(only=task, trigger="arrival")
         # In batch replays the tick chain is always alive while arrivals
         # remain, so this is a no-op; in streaming mode a submission into a
         # drained session must revive the periodic tick itself.
@@ -483,16 +548,31 @@ class ClusterSimulator:
         self._finished_count += 1
         if hasattr(self.scheduler, "on_task_finish"):
             self.scheduler.on_task_finish(task, self.cluster, self.now)
-        self._schedule_pending()
+        self._schedule_pending(trigger="finish")
 
     def _handle_tick(self) -> None:
+        rec = self.obs
         if self.config.sample_allocation:
-            self.allocation_samples.append(self.cluster.allocation_rate())
-            self.allocation_sample_times.append(self.now)
+            if rec.enabled:
+                with rec.span("sim.metric_accrual_s"):
+                    self.allocation_samples.append(self.cluster.allocation_rate())
+                    self.allocation_sample_times.append(self.now)
+            else:
+                self.allocation_samples.append(self.cluster.allocation_rate())
+                self.allocation_sample_times.append(self.now)
         if hasattr(self.scheduler, "on_tick"):
             self.scheduler.on_tick(self.cluster, self.now, self.pending.snapshot())
         pending_before = len(self.pending)
-        self._schedule_pending()
+        self._schedule_pending(trigger="tick")
+        if rec.enabled:
+            rec.sample_tick(
+                TickSample(
+                    sim_time=self.now,
+                    pending_depth=len(self.pending),
+                    running_tasks=len(self.cluster.running_tasks),
+                    allocation_rate=self.cluster.allocation_rate(),
+                )
+            )
         # Keep ticking while there is still work anywhere in the system, but
         # stop once the only remaining work is pending tasks that can never
         # be scheduled (nothing running, no future arrivals/finishes, and the
@@ -545,7 +625,7 @@ class ClusterSimulator:
             if hasattr(self.scheduler, "on_node_up"):
                 self.scheduler.on_node_up(node, self.cluster, self.now)
             # Restored capacity may unblock waiting tasks immediately.
-            self._schedule_pending()
+            self._schedule_pending(trigger="dynamics")
         else:
             if not node.available:
                 return  # defensive: overlapping outages collapse to one
@@ -559,7 +639,7 @@ class ClusterSimulator:
             if hasattr(self.scheduler, "on_node_down"):
                 self.scheduler.on_node_down(node, self.cluster, self.now)
             # Displaced tasks may fit on the surviving fleet right away.
-            self._schedule_pending()
+            self._schedule_pending(trigger="dynamics")
         self._ensure_tick()
 
     def _kill_tasks_on_node(self, node, graceful: bool) -> None:
@@ -645,21 +725,26 @@ class ClusterSimulator:
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
-    def _schedule_pending(self, only: Optional[Task] = None) -> None:
+    def _schedule_pending(self, only: Optional[Task] = None, trigger: str = "direct") -> None:
         """Offer pending tasks to the scheduler in its preferred order.
 
         When ``only`` is given, just that task is offered (used on arrivals).
         All queue membership checks and removals are O(1) against the
-        indexed :class:`~repro.cluster.pending.PendingQueue`.
+        indexed :class:`~repro.cluster.pending.PendingQueue`.  ``trigger``
+        names the event that prompted the pass (arrival / finish / tick /
+        dynamics) and only feeds the observability pass record.
         """
         if not self.pending:
             return
+        rec = self.obs
+        pass_start = perf_counter() if rec.enabled else 0.0
         self.placement_ctx.begin_pass()
         if only is not None:
             ordered = [only] if only in self.pending else []
         else:
             ordered = self.scheduler.sort_queue(self.pending.snapshot(), self.now)
         scheduled: List[Task] = []
+        examined = 0
         blocked_spot = False
         blocked_hp = False
         blocks = getattr(self.scheduler, "blocks_on_failure", None)
@@ -668,6 +753,7 @@ class ClusterSimulator:
                 continue
             if (blocked_spot and task.is_spot) or (blocked_hp and task.is_hp):
                 continue
+            examined += 1
             if self._scheduler_takes_ctx:
                 decision = self.scheduler.try_schedule(
                     task, self.cluster, self.now, ctx=self.placement_ctx
@@ -690,6 +776,21 @@ class ClusterSimulator:
             # re-queued; it is PENDING again and must stay in the queue.
             if task.state is not TaskState.PENDING:
                 self.pending.discard(task)
+        if rec.enabled:
+            ctx = self.placement_ctx
+            rec.record_pass(
+                PassRecord(
+                    sim_time=self.now,
+                    trigger=trigger,
+                    examined=examined,
+                    scheduled=len(scheduled),
+                    memo_hits=ctx.pass_memo_hits,
+                    index_rejects=ctx.pass_index_rejects,
+                    searches=ctx.pass_searches,
+                    pending_depth=len(self.pending),
+                ),
+                perf_counter() - pass_start,
+            )
 
     def _apply_decision(self, task: Task, decision: SchedulingDecision) -> None:
         delay = max(0.0, decision.start_delay)
@@ -769,6 +870,7 @@ def run_simulation(
     config: Optional[SimulatorConfig] = None,
     dynamics=None,
     dynamics_seed: int = 0,
+    recorder=None,
 ) -> SimulationMetrics:
     """Build a simulator, submit ``tasks`` and run the trace to completion.
 
@@ -792,6 +894,11 @@ def run_simulation(
     :class:`~repro.dynamics.DynamicsSpec` plus ``dynamics_seed`` and the
     injector is built here (the schedule is then a pure function of the
     spec, the seed and the cluster's node list).
+
+    ``recorder`` optionally attaches a :class:`repro.obs.Recorder`; the
+    default is the shared no-op :data:`repro.obs.NULL_RECORDER`, and
+    attaching a live recorder never changes the returned metrics (the
+    parity suite in ``tests/test_obs_parity.py`` pins this).
     """
     if dynamics is not None and not hasattr(dynamics, "schedule"):
         # A bare DynamicsSpec: bind it to the seed.  Imported lazily so the
@@ -799,6 +906,6 @@ def run_simulation(
         from ..dynamics import FaultInjector
 
         dynamics = FaultInjector(dynamics, seed=dynamics_seed)
-    simulator = ClusterSimulator(cluster, scheduler, config, dynamics=dynamics)
+    simulator = ClusterSimulator(cluster, scheduler, config, dynamics=dynamics, recorder=recorder)
     simulator.submit_all(tasks)
     return simulator.run()

@@ -13,6 +13,8 @@ Usage::
     python -m repro.experiments.cli scenarios
     python -m repro.experiments.cli trace convert philly.csv philly.json.gz
     python -m repro.experiments.cli serve --port 8151
+    python -m repro.experiments.cli profile --tier smoke --check-overhead
+    python -m repro.experiments.cli trace-viz --scenario node_churn --trace-out trace.json
 
 Each experiment prints the same rows as the corresponding table/figure of
 the paper (the README's "Paper tables and figures" section maps each artifact
@@ -206,6 +208,12 @@ def main(argv: List[str] | None = None) -> int:
         from ..service.cli import main as serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] in ("profile", "trace-viz"):
+        # Observability commands: self-profiler and Chrome-trace export
+        # (see docs/observability.md).
+        from ..obs.cli import main as obs_main
+
+        return obs_main(argv)
     parser = argparse.ArgumentParser(
         description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
     )
@@ -235,6 +243,12 @@ def main(argv: List[str] | None = None) -> int:
     )
     parser.add_argument(
         "--out", default=None, help="export reports plus a JSON/CSV grid to this directory"
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="attach the observability recorder to every simulated cell and "
+        "add obs_* profile columns to the exported grid (see docs/observability.md)",
     )
     parser.add_argument("--scenario", default="default", help="scenario name for 'sweep'")
     parser.add_argument(
@@ -280,7 +294,7 @@ def main(argv: List[str] | None = None) -> int:
     cache = None
     if args.cache_dir and not args.no_cache:
         cache = ArtifactCache(args.cache_dir)
-    engine = ExperimentEngine(workers=args.workers, cache=cache)
+    engine = ExperimentEngine(workers=args.workers, cache=cache, profile=args.profile)
 
     if "all" in args.experiments:
         names = sorted(EXPERIMENTS)

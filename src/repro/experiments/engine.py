@@ -30,6 +30,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 from ..cluster import SimulationMetrics, reset_task_counter, run_simulation
 from ..core import GFSConfig, GFSScheduler, make_ablation
 from ..dynamics import DynamicsSpec, get_dynamics
+from ..obs import Recorder
 from ..schedulers import (
     ChronusScheduler,
     FGDScheduler,
@@ -218,12 +219,15 @@ def cache_payload(job: SimulationJob) -> Dict[str, object]:
     }
 
 
-def execute_job(job: SimulationJob) -> SimulationMetrics:
+def execute_job(job: SimulationJob, recorder: Optional[Recorder] = None) -> SimulationMetrics:
     """Run one grid cell; top-level so it pickles into worker processes.
 
     Deterministic given the job spec alone: the trace RNG is seeded from
     the spec and the global task-id counter is reset, so a cell computes
     the same metrics whether it runs serially, in a pool, or from cache.
+    An optional ``recorder`` attaches observability instrumentation; the
+    metrics are bit-identical either way (the obs parity suite guards
+    this), so profiled and unprofiled cells share one cache entry.
     """
     reset_task_counter()
     scale = job.scale
@@ -246,7 +250,50 @@ def execute_job(job: SimulationJob) -> SimulationMetrics:
         scale.simulator_config(),
         dynamics=job.resolved_dynamics(),
         dynamics_seed=scale.seed + job.workload.seed_offset,
+        recorder=recorder,
     )
+
+
+def job_profile_summary(recorder: Recorder, wall_s: float) -> Dict[str, object]:
+    """Flatten one cell's recorder into ``obs_*`` grid columns.
+
+    Counter-derived columns (events, passes, examined, …) are
+    deterministic; the ``*_wall_s`` columns are wall-clock phase totals
+    feeding the profiler and vary run to run.
+    """
+    events = sum(
+        value for (name, _), value in recorder.counters.items() if name == "sim.events"
+    )
+    dispatch_wall = sum(
+        hist.total
+        for name, hist in recorder.histograms.items()
+        if name.startswith("sim.dispatch_s.")
+    )
+    pass_hist = recorder.histograms.get("sim.pass_wall_s")
+    accrual_hist = recorder.histograms.get("sim.metric_accrual_s")
+    return {
+        "obs_wall_s": round(wall_s, 6),
+        "obs_events": int(events),
+        "obs_passes": int(recorder.counter_value("sim.passes")),
+        "obs_examined": int(recorder.counter_value("sim.pass.examined")),
+        "obs_scheduled": int(recorder.counter_value("sim.pass.scheduled")),
+        "obs_memo_hits": int(recorder.counter_value("sim.pass.memo_hits")),
+        "obs_index_rejects": int(recorder.counter_value("sim.pass.index_rejects")),
+        "obs_searches": int(recorder.counter_value("sim.pass.searches")),
+        "obs_pass_wall_s": round(pass_hist.total, 6) if pass_hist else 0.0,
+        "obs_dispatch_wall_s": round(dispatch_wall, 6),
+        "obs_accrual_wall_s": round(accrual_hist.total, 6) if accrual_hist else 0.0,
+    }
+
+
+def execute_job_profiled(job: SimulationJob) -> Tuple[SimulationMetrics, Dict[str, object]]:
+    """``execute_job`` with a recorder attached; returns ``(metrics, obs_* row)``."""
+    import time as _time
+
+    recorder = Recorder()
+    start = _time.perf_counter()
+    metrics = execute_job(job, recorder=recorder)
+    return metrics, job_profile_summary(recorder, _time.perf_counter() - start)
 
 
 # ----------------------------------------------------------------------
@@ -277,6 +324,13 @@ class ExperimentEngine:
     construction because each job is self-seeding.  With a ``cache``,
     finished cells are persisted and looked up by content key before any
     simulation is launched.
+
+    ``profile=True`` attaches an observability recorder to every
+    *simulated* cell and keeps a compact per-job summary in
+    :attr:`profiles`; :meth:`grid_rows` merges those ``obs_*`` columns
+    into the export.  Metrics stay bit-identical (parity-suite
+    guarantee), so profiling neither splits nor invalidates the cache —
+    cells served from cache simply carry no ``obs_*`` columns.
     """
 
     def __init__(
@@ -284,13 +338,17 @@ class ExperimentEngine:
         workers: int = 1,
         cache: Optional[ArtifactCache] = None,
         use_cache: bool = True,
+        profile: bool = False,
     ):
         self.workers = max(1, int(workers))
         self.cache = cache
         self.use_cache = use_cache and cache is not None
+        self.profile = profile
         self.stats = EngineStats()
         #: every (job, metrics) pair this engine has produced, in run order
         self.history: List[Tuple[SimulationJob, SimulationMetrics]] = []
+        #: job key -> ``obs_*`` profile summary (profiled cells only)
+        self.profiles: Dict[str, Dict[str, object]] = {}
 
     # ------------------------------------------------------------------
     def run(self, jobs: Sequence[SimulationJob]) -> Dict[str, SimulationMetrics]:
@@ -326,6 +384,12 @@ class ExperimentEngine:
         if pending:
             if self.workers > 1 and len(pending) > 1:
                 computed = self._run_pool([job for job, _ in pending])
+            elif self.profile:
+                computed = {}
+                for job, _ in pending:
+                    metrics, summary = execute_job_profiled(job)
+                    computed[job.key] = metrics
+                    self.profiles[job.key] = summary
             else:
                 computed = {job.key: execute_job(job) for job, _ in pending}
             for job, cache_key in pending:
@@ -342,17 +406,30 @@ class ExperimentEngine:
     def _run_pool(self, jobs: Sequence[SimulationJob]) -> Dict[str, SimulationMetrics]:
         max_workers = min(self.workers, len(jobs))
         computed: Dict[str, SimulationMetrics] = {}
+        worker = execute_job_profiled if self.profile else execute_job
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            futures = {pool.submit(execute_job, job): job for job in jobs}
+            futures = {pool.submit(worker, job): job for job in jobs}
             for future in as_completed(futures):
-                computed[futures[future].key] = future.result()
+                key = futures[future].key
+                if self.profile:
+                    computed[key], self.profiles[key] = future.result()
+                else:
+                    computed[key] = future.result()
         return computed
 
     # ------------------------------------------------------------------
     def grid_rows(self) -> List[Dict[str, object]]:
-        """Flat descriptor + headline-metric rows for everything run."""
+        """Flat descriptor + headline-metric rows for everything run.
+
+        Profiled cells additionally carry their ``obs_*`` columns (event
+        counts, pass statistics, wall-clock phase totals).
+        """
         return [
-            {**job.describe(), **flatten_metrics(metrics)}
+            {
+                **job.describe(),
+                **flatten_metrics(metrics),
+                **self.profiles.get(job.key, {}),
+            }
             for job, metrics in self.history
         ]
 

@@ -1,0 +1,47 @@
+"""Simulator-wide observability: recorder core, exporters, self-profiler.
+
+The package splits into a dependency-free core — imported by the hot
+path — and consumers imported only where used:
+
+* :mod:`repro.obs.recorder` — :class:`Recorder` / :class:`NullRecorder`
+  (counters, gauges, histograms, spans; sim-time vs wall-clock channels)
+  and :class:`EventLoopCounters`, the simulator's per-kind heaped-event
+  accounting.
+* :mod:`repro.obs.prometheus` — exposition-format rendering for the
+  service's ``GET /metrics``.
+* :mod:`repro.obs.trace_export` — Chrome-trace/Perfetto JSON export of
+  scheduling passes and task lifecycles (``cli trace-viz``).
+* :mod:`repro.obs.profiler` — wall-clock self-profiler reporting the
+  per-phase cost breakdown (``cli profile`` / ``make profile``).
+
+See ``docs/observability.md`` for the recorder API, the hook-point
+inventory and walkthroughs of every consumer.
+"""
+
+from .prometheus import (
+    PROMETHEUS_CONTENT_TYPE,
+    parse_prometheus_text,
+    render_recorder,
+)
+from .recorder import (
+    NULL_RECORDER,
+    EventLoopCounters,
+    Histogram,
+    NullRecorder,
+    PassRecord,
+    Recorder,
+    TickSample,
+)
+
+__all__ = [
+    "NULL_RECORDER",
+    "EventLoopCounters",
+    "Histogram",
+    "NullRecorder",
+    "PassRecord",
+    "PROMETHEUS_CONTENT_TYPE",
+    "Recorder",
+    "TickSample",
+    "parse_prometheus_text",
+    "render_recorder",
+]

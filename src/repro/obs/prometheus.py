@@ -1,0 +1,140 @@
+"""Prometheus text-format (exposition format 0.0.4) rendering.
+
+Turns a :class:`~repro.obs.recorder.Recorder` into the plain-text page a
+Prometheus scraper expects, stdlib only.  Metric names are sanitised
+(``sim.pass_wall_s`` -> ``repro_sim_pass_wall_s``), label values are
+escaped, histograms render as the conventional ``_bucket``/``_sum``/
+``_count`` triplet with cumulative ``le`` buckets.
+
+Used by ``GET /metrics`` on the scheduler service
+(:mod:`repro.service.server`), which concatenates one server-level
+section with one section per live session (labelled ``session="..."``).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, Iterable, Optional, Tuple
+
+from .recorder import Histogram, LabelPairs, Recorder
+
+#: Content type a /metrics response must declare.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def metric_name(name: str, prefix: str = "repro") -> str:
+    """Sanitise a recorder metric name into a Prometheus metric name."""
+    flat = _NAME_RE.sub("_", name)
+    flat = re.sub(r"_+", "_", flat).strip("_")
+    return f"{prefix}_{flat}" if prefix else flat
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(pairs: Iterable[Tuple[str, str]]) -> str:
+    items = [f'{k}="{_escape_label(str(v))}"' for k, v in pairs]
+    return "{" + ",".join(items) + "}" if items else ""
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "NaN"
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+    return repr(float(value))
+
+
+def _merge_labels(pairs: LabelPairs, extra: Optional[Dict[str, str]]) -> Tuple[Tuple[str, str], ...]:
+    merged = dict(pairs)
+    if extra:
+        merged.update({str(k): str(v) for k, v in extra.items()})
+    return tuple(sorted(merged.items()))
+
+
+def render_histogram(
+    name: str, hist: Histogram, extra_labels: Optional[Dict[str, str]] = None
+) -> str:
+    """One histogram as ``_bucket``/``_sum``/``_count`` sample lines."""
+    base = _merge_labels((), extra_labels)
+    lines = []
+    cumulative = 0
+    for bound, count in zip(hist.bounds, hist.counts):
+        cumulative += count
+        labels = _render_labels(base + (("le", _format_value(float(bound))),))
+        lines.append(f"{name}_bucket{labels} {cumulative}")
+    cumulative += hist.counts[-1]
+    labels = _render_labels(base + (("le", "+Inf"),))
+    lines.append(f"{name}_bucket{labels} {cumulative}")
+    lines.append(f"{name}_sum{_render_labels(base)} {_format_value(hist.total)}")
+    lines.append(f"{name}_count{_render_labels(base)} {hist.count}")
+    return "\n".join(lines)
+
+
+def render_recorder(
+    recorder: Recorder,
+    prefix: str = "repro",
+    extra_labels: Optional[Dict[str, str]] = None,
+    emit_type_lines: bool = True,
+) -> str:
+    """Render every instrument of ``recorder`` as Prometheus text.
+
+    ``extra_labels`` (e.g. ``{"session": "session-0001"}``) are merged
+    into every sample, which is how the service distinguishes per-session
+    sections on one page.  ``emit_type_lines=False`` suppresses the
+    ``# TYPE`` headers for sections after the first, so one page can
+    carry the same metric family for many sessions without duplicate
+    type declarations (which Prometheus parsers reject).
+    """
+    lines = []
+    seen_types = set()
+
+    def type_line(name: str, kind: str) -> None:
+        if emit_type_lines and name not in seen_types:
+            seen_types.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for (raw, pairs), value in sorted(recorder.counters.items()):
+        name = metric_name(raw, prefix) + ("_total" if not raw.endswith("_total") else "")
+        type_line(name, "counter")
+        lines.append(f"{name}{_render_labels(_merge_labels(pairs, extra_labels))} {_format_value(value)}")
+    for (raw, pairs), value in sorted(recorder.gauges.items()):
+        name = metric_name(raw, prefix)
+        type_line(name, "gauge")
+        lines.append(f"{name}{_render_labels(_merge_labels(pairs, extra_labels))} {_format_value(value)}")
+    for raw, hist in sorted(recorder.histograms.items()):
+        name = metric_name(raw, prefix)
+        type_line(name, "histogram")
+        lines.append(render_histogram(name, hist, extra_labels))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_prometheus_text(text: str) -> Dict[str, float]:
+    """Minimal exposition-format parser (tests and the smoke scrape).
+
+    Returns ``{sample_name_with_labels: value}`` and raises
+    ``ValueError`` on any line that is neither a comment, blank, nor a
+    well-formed sample — enough to assert "Prometheus-parseable".
+    """
+    samples: Dict[str, float] = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip() or line.startswith("#"):
+            continue
+        match = re.match(
+            r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(NaN|[+-]?Inf|[-+0-9.eE]+)$",
+            line,
+        )
+        if match is None:
+            raise ValueError(f"unparseable exposition line {lineno}: {line!r}")
+        name, labels, value = match.groups()
+        samples[f"{name}{labels or ''}"] = float(
+            value.replace("+Inf", "inf").replace("-Inf", "-inf")
+        )
+    return samples

@@ -239,6 +239,12 @@ class PlacementContext:
         self._view_mut: Dict[str, int] = {}
         #: failed shape -> (free_increase_seq, spot_increase_seq or None)
         self._failed: Dict[Tuple, Tuple[int, Optional[int]]] = {}
+        # Per-pass observability tallies (reset by begin_pass, read by the
+        # simulator's pass record).  Plain int increments — cheap enough to
+        # stay unconditional even with the NullRecorder attached.
+        self.pass_memo_hits = 0
+        self.pass_index_rejects = 0
+        self.pass_searches = 0
 
     # ------------------------------------------------------------------
     # Pass lifecycle
@@ -250,6 +256,9 @@ class PlacementContext:
         per-node mutation stamps.
         """
         self._failed.clear()
+        self.pass_memo_hits = 0
+        self.pass_index_rejects = 0
+        self.pass_searches = 0
 
     # ------------------------------------------------------------------
     # Shared views
@@ -312,6 +321,7 @@ class PlacementContext:
         if track_spot and spot_seq != self.index.spot_increase_seq:
             del self._failed[key]
             return False
+        self.pass_memo_hits += 1
         return True
 
     def note_failure(self, task: Task, pool: str, track_spot: bool = False) -> None:
@@ -347,7 +357,12 @@ class PlacementContext:
         if candidates:
             view_map = self.clone_views(candidates)
             if not _cheap_infeasibility(task, view_map):
+                self.pass_searches += 1
                 placements = _greedy_fill(task, view_map, score)
+            else:
+                self.pass_index_rejects += 1
+        else:
+            self.pass_index_rejects += 1
         if placements is None and memo:
             self.note_failure(task, pool)
         return placements

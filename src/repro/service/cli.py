@@ -3,15 +3,41 @@
 Reached through the main experiments CLI (``python -m repro.experiments.cli
 serve``) or directly as ``python -m repro.service.cli``.  The server runs
 until interrupted or until a client posts ``/shutdown``.
+
+``--log-level info`` turns on the structured access log (one line per
+request: method, path, status, duration ms, session id) on the
+``repro.service`` logger; the default leaves logging unconfigured, so
+the server stays silent exactly as before.
 """
 
 from __future__ import annotations
 
 import argparse
 import asyncio
+import logging
 from typing import List, Optional
 
 from .server import serve
+
+_LOG_LEVELS = ("critical", "error", "warning", "info", "debug")
+
+
+def configure_logging(level_name: Optional[str]) -> None:
+    """Wire the ``repro.service`` access log to stderr at ``level_name``.
+
+    ``None`` (flag omitted) configures nothing — logging stays at the
+    host application's discretion and the server is silent by default.
+    """
+    if not level_name:
+        return
+    level = getattr(logging, level_name.upper())
+    handler = logging.StreamHandler()
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(levelname)s %(name)s %(message)s")
+    )
+    logger = logging.getLogger("repro.service")
+    logger.setLevel(level)
+    logger.addHandler(handler)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -23,7 +49,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--port", type=int, default=8151, help="bind port, 0 for ephemeral (default: %(default)s)"
     )
+    parser.add_argument(
+        "--log-level",
+        default=None,
+        choices=_LOG_LEVELS,
+        help="enable the structured access log at this level (default: off)",
+    )
     args = parser.parse_args(argv)
+    configure_logging(args.log_level)
     try:
         asyncio.run(serve(args.host, args.port))
     except KeyboardInterrupt:

@@ -54,7 +54,7 @@ class ServiceClient:
     # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
-    def _request(self, method: str, path: str, payload: Optional[Mapping] = None) -> Dict:
+    def _request_bytes(self, method: str, path: str, payload: Optional[Mapping] = None) -> bytes:
         body = json.dumps(payload).encode("utf-8") if payload is not None else b""
         headers = {"Content-Type": "application/json", "Content-Length": str(len(body))}
         if self._conn is None:
@@ -71,10 +71,17 @@ class ServiceClient:
             self._conn.request(method, path, body=body, headers=headers)
             response = self._conn.getresponse()
             data = response.read()
-        decoded = json.loads(data) if data else {}
         if response.status != 200:
+            try:
+                decoded = json.loads(data) if data else {}
+            except ValueError:
+                decoded = {}
             raise ServiceError(response.status, decoded.get("error", data.decode("utf-8", "replace")))
-        return decoded
+        return data
+
+    def _request(self, method: str, path: str, payload: Optional[Mapping] = None) -> Dict:
+        data = self._request_bytes(method, path, payload)
+        return json.loads(data) if data else {}
 
     def close(self) -> None:
         if self._conn is not None:
@@ -138,6 +145,14 @@ class ServiceClient:
     def metrics(self, session_id: str) -> Dict:
         return self._request("GET", f"/sessions/{session_id}/metrics")
 
+    def stats(self, session_id: str) -> Dict:
+        """Live observability stats: status plus the session's recorder snapshot."""
+        return self._request("GET", f"/sessions/{session_id}/stats")
+
+    def metrics_text(self) -> str:
+        """Scrape the server-wide Prometheus exposition page (``GET /metrics``)."""
+        return self._request_bytes("GET", "/metrics").decode("utf-8")
+
     def snapshot(self, session_id: str) -> bytes:
         """Export the session's state as versioned envelope bytes."""
         text = self._request("POST", f"/sessions/{session_id}/snapshot")["snapshot"]
@@ -187,7 +202,9 @@ class AsyncServiceClient:
             self._reader = None
             self._writer = None
 
-    async def _request(self, method: str, path: str, payload: Optional[Mapping] = None) -> Dict:
+    async def _request_bytes(
+        self, method: str, path: str, payload: Optional[Mapping] = None
+    ) -> bytes:
         await self._connect()
         body = json.dumps(payload).encode("utf-8") if payload is not None else b""
         head = (
@@ -210,10 +227,17 @@ class AsyncServiceClient:
             if name.strip().lower() == "content-length":
                 length = int(value.strip())
         data = await self._reader.readexactly(length) if length else b""
-        decoded = json.loads(data) if data else {}
         if status != 200:
+            try:
+                decoded = json.loads(data) if data else {}
+            except ValueError:
+                decoded = {}
             raise ServiceError(status, decoded.get("error", data.decode("utf-8", "replace")))
-        return decoded
+        return data
+
+    async def _request(self, method: str, path: str, payload: Optional[Mapping] = None) -> Dict:
+        data = await self._request_bytes(method, path, payload)
+        return json.loads(data) if data else {}
 
     # ------------------------------------------------------------------
     # API surface (mirrors ServiceClient)
@@ -265,6 +289,14 @@ class AsyncServiceClient:
 
     async def metrics(self, session_id: str) -> Dict:
         return await self._request("GET", f"/sessions/{session_id}/metrics")
+
+    async def stats(self, session_id: str) -> Dict:
+        """Live observability stats: status plus the session's recorder snapshot."""
+        return await self._request("GET", f"/sessions/{session_id}/stats")
+
+    async def metrics_text(self) -> str:
+        """Scrape the server-wide Prometheus exposition page (``GET /metrics``)."""
+        return (await self._request_bytes("GET", "/metrics")).decode("utf-8")
 
     async def snapshot(self, session_id: str) -> bytes:
         text = (await self._request("POST", f"/sessions/{session_id}/snapshot"))["snapshot"]

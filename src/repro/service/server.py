@@ -28,6 +28,7 @@ executor.  That gives:
 Routes (all JSON; see ``docs/service.md`` for request/response bodies)::
 
     GET    /healthz
+    GET    /metrics                      Prometheus text: server + every session
     GET    /sessions                     list sessions
     POST   /sessions                     create a session
     GET    /sessions/{id}                status
@@ -39,6 +40,7 @@ Routes (all JSON; see ``docs/service.md`` for request/response bodies)::
     GET    /sessions/{id}/occupancy      live cluster occupancy
     GET    /sessions/{id}/quota          per-org quota headroom
     GET    /sessions/{id}/metrics        full metrics of the run so far
+    GET    /sessions/{id}/stats          live recorder stats (passes, counters)
     POST   /sessions/{id}/snapshot       export a versioned snapshot
     POST   /sessions/{id}/restore        replace state from a snapshot
     POST   /shutdown                     stop the server
@@ -48,8 +50,11 @@ from __future__ import annotations
 
 import asyncio
 import json
+import logging
+import time
 from typing import Dict, Optional, Tuple
 
+from ..obs import PROMETHEUS_CONTENT_TYPE, Recorder, render_recorder
 from .session import SessionError, SimulationSession
 from .snapshot import SnapshotError, snapshot_from_text, snapshot_to_text
 
@@ -57,6 +62,20 @@ from .snapshot import SnapshotError, snapshot_from_text, snapshot_to_text
 #: a FULL-scale mid-run snapshot compresses to a few MB)
 MAX_BODY_BYTES = 256 * 1024 * 1024
 _MAX_HEADER_BYTES = 64 * 1024
+
+#: Structured access log (one line per request); silent unless the host
+#: configures logging — ``cli serve --log-level info`` does.
+_ACCESS_LOG = logging.getLogger("repro.service")
+
+
+class TextResponse:
+    """A non-JSON response body (``GET /metrics``' Prometheus page)."""
+
+    __slots__ = ("text", "content_type")
+
+    def __init__(self, text: str, content_type: str = "text/plain; charset=utf-8"):
+        self.text = text
+        self.content_type = content_type
 
 
 class _HttpError(Exception):
@@ -86,6 +105,8 @@ class SchedulerServer:
         self._shutdown = asyncio.Event()
         self.host: str = ""
         self.port: int = 0
+        #: server-level instruments: request counts and latencies
+        self.recorder = Recorder()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -126,7 +147,10 @@ class SchedulerServer:
                 if request is None:
                     break  # client closed the connection
                 method, path, body, keep_alive = request
+                started = time.perf_counter()
                 status, payload = await self._dispatch(method, path, body)
+                duration_ms = (time.perf_counter() - started) * 1000.0
+                self._observe_request(method, path, status, duration_ms)
                 await self._write_response(writer, status, payload, keep_alive)
                 if not keep_alive:
                     break
@@ -138,6 +162,21 @@ class SchedulerServer:
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
+
+    def _observe_request(self, method: str, path: str, status: int, duration_ms: float) -> None:
+        """Structured access log line + server-level request instruments."""
+        session_id = "-"
+        clean = path.split("?", 1)[0]
+        if clean.startswith("/sessions/"):
+            session_id = clean[len("/sessions/"):].split("/", 1)[0] or "-"
+        _ACCESS_LOG.info(
+            "method=%s path=%s status=%d duration_ms=%.2f session=%s",
+            method, clean, status, duration_ms, session_id,
+        )
+        self.recorder.count(
+            "http.requests", 1.0, {"method": method, "status": str(status)}
+        )
+        self.recorder.observe("http.request_s", duration_ms / 1000.0)
 
     @staticmethod
     async def _read_request(
@@ -175,13 +214,18 @@ class SchedulerServer:
     async def _write_response(
         writer: asyncio.StreamWriter, status: int, payload: object, keep_alive: bool
     ) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        if isinstance(payload, TextResponse):
+            body = payload.text.encode("utf-8")
+            content_type = payload.content_type
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
         reason = {200: "OK", 400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed",
                   409: "Conflict", 413: "Payload Too Large", 431: "Headers Too Large",
                   500: "Internal Server Error"}.get(status, "Unknown")
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             f"\r\n"
@@ -206,6 +250,8 @@ class SchedulerServer:
         path = path.split("?", 1)[0].rstrip("/") or "/"
         if path == "/healthz" and method == "GET":
             return 200, {"status": "ok", "sessions": len(self._sessions)}
+        if path == "/metrics" and method == "GET":
+            return await self._metrics_page()
         if path == "/shutdown" and method == "POST":
             self._shutdown.set()
             return 200, {"status": "shutting down"}
@@ -232,6 +278,29 @@ class SchedulerServer:
         if not isinstance(payload, dict):
             raise _HttpError(400, "request body must be a JSON object")
         return payload
+
+    async def _metrics_page(self) -> Tuple[int, object]:
+        """``GET /metrics``: Prometheus text for the server and every session.
+
+        One server-level section (request counters/latency) followed by
+        one section per live session, each sample labelled
+        ``session="<id>"``.  Session sections render under that session's
+        lock so a concurrent advance cannot mutate the recorder's dicts
+        mid-iteration.
+        """
+        sections = [
+            render_recorder(self.recorder, extra_labels={"session": "_server"})
+        ]
+        for session_id in sorted(self._sessions):
+            session = self._sessions.get(session_id)
+            lock = self._locks.get(session_id)
+            if session is None or lock is None:
+                continue  # deleted between listing and rendering
+            sections.append(
+                await self._run(lock, session.prometheus_section)
+            )
+        page = "".join(s for s in sections if s)
+        return 200, TextResponse(page, PROMETHEUS_CONTENT_TYPE)
 
     async def _create_session(self, payload: dict) -> Tuple[int, object]:
         loop = asyncio.get_running_loop()
@@ -274,6 +343,7 @@ class SchedulerServer:
             ("GET", "occupancy"): session.occupancy,
             ("GET", "quota"): session.quota,
             ("GET", "metrics"): session.metrics,
+            ("GET", "stats"): session.stats,
             ("POST", "snapshot"): lambda: {
                 "session_id": session.session_id,
                 "snapshot": snapshot_to_text(session.snapshot_bytes()),

@@ -26,7 +26,12 @@ from ..cluster.simulator import ClusterSimulator, SimulatorConfig
 from ..cluster.task import Task, TaskType
 from ..dynamics import FaultInjector, get_dynamics
 from ..experiments.engine import SchedulerSpec, build_scheduler
+from ..obs import Recorder, render_recorder
 from ..workloads.scenarios import get_scenario
+
+#: sim-channel pass records kept per session before the oldest drop —
+#: bounds live-session memory; counters/histograms aggregate forever
+PASS_RECORD_LIMIT = 4096
 
 #: session-creation parameters the service accepts, with their defaults —
 #: anything else in a create request is rejected as a typo guard
@@ -170,7 +175,10 @@ class SimulationSession:
             tick_interval=float(merged["tick_interval"]),
             max_time=float(max_time) if max_time is not None else None,
         )
-        self.sim = ClusterSimulator(cluster, scheduler, config, dynamics=dynamics)
+        self.recorder = Recorder(pass_record_limit=PASS_RECORD_LIMIT)
+        self.sim = ClusterSimulator(
+            cluster, scheduler, config, dynamics=dynamics, recorder=self.recorder
+        )
         if merged["preload"]:
             self.sim.submit_all(trace.sorted_tasks())
 
@@ -303,6 +311,43 @@ class SimulationSession:
             "orgs": per_org,
         }
 
+    def sync_gauges(self) -> None:
+        """Push the session's live state into its recorder's gauges.
+
+        The recorder never *reads* simulator state (the zero-perturbation
+        rule), so scrape-time values are pushed here instead — cheap O(1)
+        aggregate reads only.
+        """
+        sim = self.sim
+        rec = self.recorder
+        rec.gauge("session.now", sim.now)
+        rec.gauge("session.pending_tasks", len(sim.pending))
+        rec.gauge("session.running_tasks", len(sim.cluster.running_tasks))
+        rec.gauge("session.submitted_tasks", len(sim.all_tasks))
+        rec.gauge("session.heap_events", len(sim._events))
+        rec.gauge("session.allocation_rate", sim.cluster.allocation_rate())
+
+    def stats(self) -> Dict[str, object]:
+        """Live per-session observability: status plus the recorder view."""
+        self.sync_gauges()
+        result = self.status()
+        result["recorder"] = self.recorder.snapshot()
+        return result
+
+    def prometheus_section(self, emit_type_lines: bool = False) -> str:
+        """This session's slice of the server's ``GET /metrics`` page.
+
+        Every sample carries a ``session="<id>"`` label; ``# TYPE`` lines
+        are suppressed by default so one page can stack many sessions
+        without duplicate type declarations.
+        """
+        self.sync_gauges()
+        return render_recorder(
+            self.recorder,
+            extra_labels={"session": self.session_id},
+            emit_type_lines=emit_type_lines,
+        )
+
     def metrics(self) -> Dict[str, object]:
         """Full simulation metrics of the run so far.
 
@@ -378,6 +423,9 @@ class SimulationSession:
         from .snapshot import decode_snapshot
 
         self.sim = ClusterSimulator.restore(decode_snapshot(data))
+        # Snapshots restore with the no-op recorder (instrumentation is
+        # host-local, not simulation state); reattach this session's.
+        self.sim.obs = self.recorder
         return self.status()
 
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 import asyncio
 import sys
 
+from ..obs import parse_prometheus_text
 from .client import AsyncServiceClient
 from .server import SchedulerServer
 
@@ -75,6 +76,18 @@ async def _run() -> int:
 
         metrics = await client.metrics(sid)
         assert "makespan_hours" in metrics or metrics, metrics
+
+        # Observability: live per-session stats and the Prometheus page.
+        stats = await client.stats(sid)
+        assert "recorder" in stats, stats
+        page = await client.metrics_text()
+        samples = parse_prometheus_text(page)
+        names = {key.split("{", 1)[0] for key in samples}
+        assert "repro_http_requests_total" in names, sorted(names)
+        session_labelled = [key for key in samples if f'session="{sid}"' in key]
+        assert session_labelled, f"no samples labelled session={sid!r}"
+        print(f"[serve-smoke] /metrics scrape ok ({len(samples)} samples)")
+
         await client.delete_session(sid)
         await client.shutdown()
         await asyncio.wait_for(server_task, timeout=10.0)

@@ -205,3 +205,48 @@ class TestGridRows:
         assert row["scenario"] == "default"
         assert row["seed"] == TINY.seed
         assert row["hp_count"] > 0
+
+
+class TestProfiledEngine:
+    def test_profiled_cells_match_unprofiled_and_export_obs_columns(self):
+        jobs = tiny_grid()[:2]
+        plain = ExperimentEngine().run(jobs)
+        engine = ExperimentEngine(profile=True)
+        profiled = engine.run(jobs)
+        for key in plain:
+            assert metrics_to_payload(plain[key]) == metrics_to_payload(profiled[key]), key
+        rows = engine.grid_rows()
+        assert len(rows) == 2
+        for row in rows:
+            assert row["obs_passes"] > 0
+            assert row["obs_events"] > 0
+            assert row["obs_wall_s"] > 0
+            assert row["obs_scheduled"] <= row["obs_examined"]
+
+    def test_profiled_pool_matches_serial_on_deterministic_columns(self):
+        jobs = tiny_grid()[:2]
+        serial = ExperimentEngine(profile=True)
+        serial.run(jobs)
+        pooled = ExperimentEngine(workers=2, profile=True)
+        pooled.run(jobs)
+        deterministic = [
+            "obs_events", "obs_passes", "obs_examined", "obs_scheduled",
+            "obs_memo_hits", "obs_index_rejects", "obs_searches",
+        ]
+        for job in jobs:
+            for column in deterministic:
+                assert (
+                    serial.profiles[job.key][column] == pooled.profiles[job.key][column]
+                ), (job.key, column)
+
+    def test_cache_hits_carry_no_obs_columns(self, tmp_path):
+        jobs = tiny_grid()[:1]
+        cache = ArtifactCache(tmp_path)
+        warm = ExperimentEngine(cache=cache, profile=True)
+        warm.run(jobs)
+        assert jobs[0].key in warm.profiles
+        cold = ExperimentEngine(cache=cache, profile=True)
+        cold.run(jobs)
+        assert cold.stats.cache_hits == 1
+        assert jobs[0].key not in cold.profiles
+        assert "obs_passes" not in cold.grid_rows()[0]

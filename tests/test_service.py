@@ -295,3 +295,126 @@ def test_concurrent_clients_keep_sessions_isolated():
     results = asyncio.run(_with_server(body))
     for kind in schedulers:
         assert results[kind] == references[kind], f"session isolation broke for {kind}"
+
+
+# ----------------------------------------------------------------------
+# Observability: /metrics, per-session stats, structured access log
+# ----------------------------------------------------------------------
+def test_metrics_endpoint_is_prometheus_parseable():
+    from repro.obs import parse_prometheus_text
+
+    async def body(server):
+        client = AsyncServiceClient(server.host, server.port)
+        try:
+            sid = (await client.create_session(**PARAMS))["session_id"]
+            await client.submit(sid, _wave("prom", 6))
+            await client.advance(sid, until=1800.0)
+            page = await client.metrics_text()
+            samples = parse_prometheus_text(page)  # raises on malformed lines
+            names = {key.split("{", 1)[0] for key in samples}
+            # Server-level request accounting...
+            assert "repro_http_requests_total" in names
+            assert "repro_http_request_s_count" in names
+            # ...and per-session live gauges labelled with the session id.
+            assert f'repro_session_now{{session="{sid}"}}' in samples
+            assert samples[f'repro_session_submitted_tasks{{session="{sid}"}}'] == 6.0
+            # The simulator's own counters surface through the session too.
+            assert any(
+                key.startswith("repro_sim_events_total") and f'session="{sid}"' in key
+                for key in samples
+            )
+        finally:
+            await client.close()
+
+    asyncio.run(_with_server(body))
+
+
+def test_stats_endpoint_returns_recorder_snapshot():
+    async def body(server):
+        client = AsyncServiceClient(server.host, server.port)
+        try:
+            sid = (await client.create_session(**PARAMS))["session_id"]
+            await client.submit(sid, _wave("stats", 4))
+            await client.advance(sid, until=1800.0)
+            stats = await client.stats(sid)
+            assert stats["session_id"] == sid
+            recorder = stats["recorder"]
+            assert recorder["enabled"] is True
+            assert recorder["counters"]["sim.passes"] > 0
+            assert "session.now" in recorder["gauges"]
+            json.dumps(stats)  # endpoint payloads must be JSON-clean
+        finally:
+            await client.close()
+
+    asyncio.run(_with_server(body))
+
+
+def test_metrics_survive_restore_and_session_deletion():
+    from repro.obs import parse_prometheus_text
+
+    async def body(server):
+        client = AsyncServiceClient(server.host, server.port)
+        try:
+            sid = (await client.create_session(**PARAMS))["session_id"]
+            await client.submit(sid, _wave("oblife", 4))
+            await client.advance(sid, until=900.0)
+            blob = await client.snapshot(sid)
+            await client.restore(sid, blob)
+            await client.advance(sid, until=1800.0)
+            # The reattached recorder keeps counting after a restore.
+            stats = await client.stats(sid)
+            assert stats["recorder"]["counters"]["sim.passes"] > 0
+            await client.delete_session(sid)
+            page = await client.metrics_text()
+            samples = parse_prometheus_text(page)
+            assert not any(f'session="{sid}"' in key for key in samples)
+            assert any(key.startswith("repro_http_requests_total") for key in samples)
+        finally:
+            await client.close()
+
+    asyncio.run(_with_server(body))
+
+
+def test_structured_access_log_lines(caplog):
+    import logging
+
+    async def body(server):
+        client = AsyncServiceClient(server.host, server.port)
+        try:
+            sid = (await client.create_session(**PARAMS))["session_id"]
+            await client.status(sid)
+            with pytest.raises(ServiceError):
+                await client.status("no-such-session")
+            return sid
+        finally:
+            await client.close()
+
+    with caplog.at_level(logging.INFO, logger="repro.service"):
+        sid = asyncio.run(_with_server(body))
+    records = [r.getMessage() for r in caplog.records if r.name == "repro.service"]
+    assert any(
+        "method=POST" in m and "path=/sessions" in m and "status=200" in m
+        for m in records
+    ), records
+    status_lines = [m for m in records if "method=GET" in m and f"session={sid}" in m]
+    assert status_lines and all("duration_ms=" in m for m in status_lines), records
+    assert any("status=404" in m and "session=no-such-session" in m for m in records)
+
+
+def test_configure_logging_levels():
+    import logging
+
+    from repro.service.cli import configure_logging
+
+    logger = logging.getLogger("repro.service")
+    old_level, old_handlers = logger.level, list(logger.handlers)
+    try:
+        configure_logging(None)  # no-op: stays unconfigured
+        assert logger.level == old_level and logger.handlers == old_handlers
+        configure_logging("debug")
+        assert logger.level == logging.DEBUG
+        assert len(logger.handlers) == len(old_handlers) + 1
+    finally:
+        for handler in logger.handlers[len(old_handlers):]:
+            logger.removeHandler(handler)
+        logger.setLevel(old_level)
