@@ -5,7 +5,7 @@ PYTHON      ?= python
 PYTHONPATH  := src
 export PYTHONPATH
 
-.PHONY: test bench bench-scaling bench-record perf-smoke lint verify sweep trace-smoke chaos-smoke serve-smoke profile obs-smoke all
+.PHONY: test bench bench-scaling bench-record perf-smoke lint verify sweep trace-smoke chaos-smoke chaos-harness-smoke serve-smoke profile obs-smoke all
 
 # Knobs for `make profile` (self-profiler tier/scheduler).
 PROFILE_TIER      ?= full
@@ -81,6 +81,15 @@ chaos-smoke:
 	$(PYTHON) -m repro.experiments.cli sweep --scenario node_churn \
 		--scale small --workers 2 --spot-scale 2.0
 	$(PYTHON) -m pytest benchmarks/test_bench_dynamics.py tests/test_chaos_scenarios.py -q
+
+## Fault-tolerance smoke: kill-and-resume scenarios (SIGINT drain,
+## kill -9 + journal resume, seeded worker chaos, durable service
+## restart — each asserting byte-identity with an uninterrupted
+## reference), then the crash-safety suites.
+chaos-harness-smoke:
+	$(PYTHON) -m repro.runtime.smoke
+	$(PYTHON) -m pytest tests/test_runtime.py tests/test_resume.py \
+		tests/test_chaos_harness.py tests/test_service_durability.py -q
 
 ## Self-profiler: wall-clock phase breakdown (event dispatch vs placement
 ## search vs metric accrual) of the placement-bound benchmark tier, with

@@ -7,9 +7,12 @@ one definition of metric bit-identity instead of drifting copies.
 
 from __future__ import annotations
 
+import json
 import math
+from pathlib import Path
 
 from repro.cluster import SimulationMetrics
+from repro.runtime import atomic_write_text
 
 
 def values_equal(a, b) -> bool:
@@ -47,3 +50,13 @@ def assert_metrics_identical(new: SimulationMetrics, old: SimulationMetrics, lab
 #: observability-overhead record; bump it whenever a record's fields
 #: change shape so downstream tooling can branch on it.
 BENCH_SCHEMA_VERSION = 2
+
+
+def write_bench_record(out: Path, record: dict) -> Path:
+    """Write a ``BENCH_*.json`` perf record atomically (temp + fsync + rename).
+
+    The records live at the repo root and are read by CI and by the next
+    benchmark run (as the regression reference), so a crash or ^C mid-write
+    must never leave a torn file behind.
+    """
+    return atomic_write_text(out, json.dumps(record, indent=2) + "\n")

@@ -32,7 +32,11 @@ import time
 from pathlib import Path
 from typing import Dict
 
-from _bench_common import BENCH_SCHEMA_VERSION, assert_metrics_identical
+from _bench_common import (
+    BENCH_SCHEMA_VERSION,
+    assert_metrics_identical,
+    write_bench_record,
+)
 from repro.cluster import Cluster, ClusterSimulator, GPUModel, SimulatorConfig, reset_task_counter
 from repro.dynamics import FaultInjector, get_dynamics
 from repro.schedulers import ChronusScheduler
@@ -97,7 +101,7 @@ def _record_bench5(tier: str, num_tasks: int, static_time: float, churn_time: fl
         "bench4_static_baseline": "BENCH_4.json (placement-scaling, static fleet)",
     }
     out = Path(__file__).resolve().parent.parent / "BENCH_5.json"
-    out.write_text(json.dumps(record, indent=2) + "\n")
+    write_bench_record(out, record)
     print(f"\n[dynamics {tier}] wrote {out}")
 
 

@@ -35,7 +35,7 @@ import json
 import os
 from pathlib import Path
 
-from _bench_common import BENCH_SCHEMA_VERSION
+from _bench_common import BENCH_SCHEMA_VERSION, write_bench_record
 from repro.obs.profiler import PROFILE_TIERS, run_profile
 
 #: Hard ceiling on instrumented / uninstrumented wall time.
@@ -72,7 +72,7 @@ def _record_bench7(tier: str, report) -> None:
         ],
     }
     out = Path(__file__).resolve().parent.parent / "BENCH_7.json"
-    out.write_text(json.dumps(record, indent=2) + "\n")
+    write_bench_record(out, record)
     print(f"\n[obs {tier}] wrote {out}")
 
 

@@ -50,7 +50,11 @@ import time
 from pathlib import Path
 from typing import Dict, List, Optional
 
-from _bench_common import BENCH_SCHEMA_VERSION, assert_metrics_identical
+from _bench_common import (
+    BENCH_SCHEMA_VERSION,
+    assert_metrics_identical,
+    write_bench_record,
+)
 from legacy import create_legacy_scheduler
 from repro.cluster import Cluster, ClusterSimulator, EventKind, GPUModel, SimulatorConfig
 from repro.cluster.metrics import SimulationMetrics
@@ -432,7 +436,7 @@ def _record_bench4(tier: str, num_tasks: int, opt_time: float, leg_time: float) 
         },
     }
     out = Path(__file__).resolve().parent.parent / "BENCH_4.json"
-    out.write_text(json.dumps(record, indent=2) + "\n")
+    write_bench_record(out, record)
     print(f"\n[placement {tier}] wrote {out}")
 
 

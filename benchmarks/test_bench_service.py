@@ -33,7 +33,7 @@ import time
 from pathlib import Path
 from typing import Dict
 
-from _bench_common import BENCH_SCHEMA_VERSION
+from _bench_common import BENCH_SCHEMA_VERSION, write_bench_record
 from repro.cluster.metrics import percentile
 from repro.service import AsyncServiceClient, SchedulerServer
 
@@ -134,7 +134,7 @@ def _record_bench6(tier: str, cfg: Dict[str, float], result: Dict[str, float]) -
         "whatif_p99_ms": round(result["whatif_p99_ms"], 1),
     }
     out = Path(__file__).resolve().parent.parent / "BENCH_6.json"
-    out.write_text(json.dumps(record, indent=2) + "\n")
+    write_bench_record(out, record)
     print(f"\n[service {tier}] wrote {out}")
 
 

@@ -37,10 +37,13 @@ from .engine import (
     SimulationJob,
     WorkloadSpec,
     baseline_specs,
+    cache_payload,
     comparison_specs,
     execute_job,
     gfs_spec,
     gfs_variant_spec,
+    run_cell,
+    run_cell_profiled,
     sweep_jobs,
 )
 from .forecasting import (
@@ -92,9 +95,12 @@ __all__ = [
     "WorkloadSpec",
     "baseline_factories",
     "baseline_specs",
+    "cache_payload",
     "comparison_specs",
     "content_key",
     "execute_job",
+    "run_cell",
+    "run_cell_profiled",
     "export_grid_csv",
     "export_grid_json",
     "flatten_metrics",

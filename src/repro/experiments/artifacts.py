@@ -31,12 +31,17 @@ import csv
 import dataclasses
 import enum
 import hashlib
+import io
 import json
+import logging
 import time
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..cluster import ReliabilityMetrics, SimulationMetrics, TaskClassMetrics
+from ..runtime import atomic_write_text
+
+_LOG = logging.getLogger("repro.experiments.artifacts")
 
 #: Bump when simulation semantics change in a way that invalidates results.
 #: v2: SimulationMetrics gained the reliability bundle (cluster dynamics).
@@ -102,6 +107,8 @@ class ArtifactCache:
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        #: corrupt entries moved aside by :meth:`load` this lifetime
+        self.quarantined = 0
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
@@ -111,7 +118,14 @@ class ArtifactCache:
         return content_key(payload)
 
     def load(self, key: str) -> Optional[SimulationMetrics]:
-        """Return the cached metrics for ``key``, or ``None`` on a miss."""
+        """Return the cached metrics for ``key``, or ``None`` on a miss.
+
+        A corrupt or stale-format entry counts as a miss, but the file is
+        *quarantined* (renamed to ``<name>.json.quarantined``) with a
+        warning rather than silently deleted — the evidence survives for
+        debugging (a truncated entry usually means a crashed writer or a
+        bad disk) and the cell simply re-runs.
+        """
         path = self._path(key)
         if not path.exists():
             self.misses += 1
@@ -119,27 +133,46 @@ class ArtifactCache:
         try:
             record = json.loads(path.read_text())
             metrics = metrics_from_payload(record["metrics"])
-        except (ValueError, KeyError, TypeError):
-            # Corrupt or stale-format entry: treat as a miss and drop it.
-            path.unlink(missing_ok=True)
+        except (ValueError, KeyError, TypeError) as exc:
+            self._quarantine(path, exc)
             self.misses += 1
             return None
         self.hits += 1
         return metrics
 
+    def _quarantine(self, path: Path, exc: Exception) -> None:
+        target = path.with_name(path.name + ".quarantined")
+        try:
+            path.replace(target)
+        except OSError:
+            # Fall back to deleting: an unreadable entry must not be
+            # served again either way.
+            path.unlink(missing_ok=True)
+            target = None
+        self.quarantined += 1
+        _LOG.warning(
+            "corrupt cache entry %s treated as a miss (%s: %s)%s",
+            path.name,
+            type(exc).__name__,
+            exc,
+            f"; moved to {target.name}" if target is not None else "; deleted",
+        )
+
     def store(self, key: str, metrics: SimulationMetrics, payload: object = None) -> Path:
-        """Persist one result; returns the file it was written to."""
+        """Persist one result; returns the file it was written to.
+
+        The write is atomic and durable (unique temp file + fsync +
+        rename), so concurrent writers of the same key and crashes
+        mid-store can never leave a torn entry behind.
+        """
         path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         record = {
             "key": key,
             "payload": canonical_payload(payload) if payload is not None else None,
             "metrics": metrics_to_payload(metrics),
             "created": time.time(),
         }
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(record))
-        tmp.replace(path)
+        atomic_write_text(path, json.dumps(record))
         return path
 
     def __contains__(self, key: str) -> bool:
@@ -214,25 +247,27 @@ def flatten_metrics(metrics: SimulationMetrics) -> Dict[str, float]:
 def export_grid_json(
     rows: Sequence[Mapping[str, object]], path: str | Path
 ) -> Path:
-    """Write grid rows (job descriptors + flat metrics) as a JSON artifact."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(list(rows), indent=2, sort_keys=True))
-    return path
+    """Write grid rows (job descriptors + flat metrics) as a JSON artifact.
+
+    Atomic (temp + rename): a crash mid-export — or a reader racing the
+    writer — sees the previous complete artifact, never a torn one.
+    """
+    return atomic_write_text(path, json.dumps(list(rows), indent=2, sort_keys=True))
 
 
 def export_grid_csv(rows: Sequence[Mapping[str, object]], path: str | Path) -> Path:
-    """Write grid rows as a CSV artifact (union of all row keys as header)."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
+    """Write grid rows as a CSV artifact (union of all row keys as header).
+
+    Rendered in memory and written atomically, like the JSON export.
+    """
     fieldnames: List[str] = []
     for row in rows:
         for key in row:
             if key not in fieldnames:
                 fieldnames.append(key)
-    with path.open("w", newline="") as handle:
-        writer = csv.DictWriter(handle, fieldnames=fieldnames)
-        writer.writeheader()
-        for row in rows:
-            writer.writerow(dict(row))
-    return path
+    buffer = io.StringIO(newline="")
+    writer = csv.DictWriter(buffer, fieldnames=fieldnames)
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(dict(row))
+    return atomic_write_text(path, buffer.getvalue())

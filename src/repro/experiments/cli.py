@@ -10,6 +10,8 @@ Usage::
     python -m repro.experiments.cli sweep --scenario trace:philly.json.gz
     python -m repro.experiments.cli sweep --scenario node_churn --workers 4
     python -m repro.experiments.cli sweep --scenario default --dynamics spot_reclaim_storm
+    python -m repro.experiments.cli sweep --scenario burst --journal sweep.journal
+    python -m repro.experiments.cli sweep --scenario burst --resume sweep.journal
     python -m repro.experiments.cli scenarios
     python -m repro.experiments.cli trace convert philly.csv philly.json.gz
     python -m repro.experiments.cli serve --port 8151
@@ -24,6 +26,13 @@ catalog.  ``--workers N`` fans the scheduler x workload grid out across N
 worker processes (results are bit-identical at any worker count), and
 ``--cache-dir`` memoises finished cells on disk so re-runs are incremental.
 ``--out DIR`` exports reports plus a JSON/CSV grid of every simulated cell.
+Execution is fault-tolerant: ``--journal PATH`` records completed cells
+in a crash-safe write-ahead journal so ``--resume PATH`` (or simply
+re-invoking) skips them after any interruption — Ctrl-C, a crash, even
+``kill -9`` — with bit-identical results; ``--job-timeout``/``--retries``
+bound each cell and ``--tolerate-failures`` turns exhausted cells into
+reported failures instead of a non-zero exit (see
+``docs/fault_tolerance.md``).
 The ``trace`` group (``trace convert``/``validate``/``stats``) ingests
 external cluster traces; converted traces replay through any grid
 experiment via ``trace:<path>`` scenario refs.  ``--dynamics <preset>``
@@ -52,6 +61,7 @@ from .artifacts import ArtifactCache, export_grid_csv, export_grid_json
 from .comparison import run_table5
 from .config import ExperimentScale, scale_by_name
 from .deployment import paper_reference_benefit, run_deployment_experiment
+from ..runtime import JobGuard, SweepError
 from .engine import (
     ExperimentEngine,
     SchedulerSpec,
@@ -168,9 +178,16 @@ def _run_scenario_sweep(scale: ExperimentScale, args, engine: ExperimentEngine) 
         sections[0] += f"\nDynamics: {dynamics.name} (see docs/reliability.md)"
     for workload in workloads:
         rows = {}
+        failed = []
         for spec in specs:
             suffix = f"+s{workload.seed_offset}" if workload.seed_offset else ""
             key = f"sweep/{workload.display}{suffix}/{spec.display}"
+            if key not in metrics:
+                # Cell exhausted its retry budget (--tolerate-failures);
+                # report it instead of crashing the table.
+                failure = engine.failures.get(key)
+                failed.append(f"  FAILED {key}: " + (failure.summary() if failure else "no result"))
+                continue
             rows[spec.display] = ExperimentResult(
                 scheduler=spec.display,
                 workload=workload.display,
@@ -179,7 +196,10 @@ def _run_scenario_sweep(scale: ExperimentScale, args, engine: ExperimentEngine) 
         title = f"Sweep ({scenario.name}, spot x{args.spot_scale:g}"
         if args.seeds > 1:
             title += f", seed offset {workload.seed_offset}"
-        sections.append(format_scheduler_table(rows, title=title + ")"))
+        section = format_scheduler_table(rows, title=title + ")") if rows else title + ")"
+        if failed:
+            section += "\n" + "\n".join(failed)
+        sections.append(section)
     return "\n\n".join(sections)
 
 
@@ -278,6 +298,44 @@ def main(argv: List[str] | None = None) -> int:
     parser.add_argument(
         "--hours", type=float, default=None, help="override the scale's duration (hours)"
     )
+    parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="write-ahead sweep journal: completed cells are durably recorded "
+        "and re-invoking with the same journal (or --resume) skips them, "
+        "even after a crash or kill -9 (see docs/fault_tolerance.md)",
+    )
+    parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="PATH",
+        help="resume from an existing sweep journal (alias for --journal; "
+        "completed cells replay bit-identically, the rest run)",
+    )
+    parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-cell deadline; an expired cell's worker pool is killed and "
+        "rebuilt, the cell retries (requires --workers >= 2)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="re-executions allowed per failing cell before it is reported "
+        "as a structured failure (default 2, deterministic backoff)",
+    )
+    parser.add_argument(
+        "--tolerate-failures",
+        action="store_true",
+        help="finish the grid and exit 0 even if cells exhausted their retry "
+        "budget (failed cells are reported and absent from exports); "
+        "default is to finish the grid, then exit 1",
+    )
     args = parser.parse_args(argv)
 
     scale = scale_by_name(args.scale)
@@ -294,7 +352,19 @@ def main(argv: List[str] | None = None) -> int:
     cache = None
     if args.cache_dir and not args.no_cache:
         cache = ArtifactCache(args.cache_dir)
-    engine = ExperimentEngine(workers=args.workers, cache=cache, profile=args.profile)
+    guard = JobGuard(
+        timeout_s=args.job_timeout,
+        retries=max(0, args.retries),
+        strict=not args.tolerate_failures,
+    )
+    journal = args.resume or args.journal
+    engine = ExperimentEngine(
+        workers=args.workers,
+        cache=cache,
+        profile=args.profile,
+        guard=guard,
+        journal=journal,
+    )
 
     if "all" in args.experiments:
         names = sorted(EXPERIMENTS)
@@ -304,6 +374,8 @@ def main(argv: List[str] | None = None) -> int:
     global _ACTIVE_ENGINE
     _ACTIVE_ENGINE = engine
     reports: Dict[str, str] = {}
+    interrupted = False
+    sweep_failures = []
     try:
         for name in names:
             start = time.perf_counter()
@@ -317,16 +389,41 @@ def main(argv: List[str] | None = None) -> int:
             reports[name.replace("/", "_")] = report
             print(report)
             print(f"[{name} finished in {time.perf_counter() - start:.1f}s]\n")
+    except KeyboardInterrupt:
+        # Graceful drain already happened inside the engine: in-flight
+        # cells finished and were journaled/cached.  Flush what we have
+        # and tell the user how to pick the sweep back up.
+        interrupted = True
+        print("\n[interrupted: draining finished; flushing partial results]")
+    except SweepError as err:
+        # The rest of the grid completed (and was journaled/cached)
+        # before this was raised; report and exit non-zero.
+        sweep_failures = err.failures
     finally:
         _ACTIVE_ENGINE = None
 
-    if engine.stats.total:
-        print(
-            f"[engine: {engine.stats.executed} simulated, "
-            f"{engine.stats.cache_hits} from cache, workers={engine.workers}]"
-        )
+    if engine.stats.total or engine.stats.failed:
+        parts = [
+            f"{engine.stats.executed} simulated",
+            f"{engine.stats.cache_hits} from cache",
+        ]
+        if engine.journal is not None:
+            parts.append(f"{engine.stats.journal_hits} from journal")
+        if engine.stats.failed:
+            parts.append(f"{engine.stats.failed} FAILED")
+        print(f"[engine: {', '.join(parts)}, workers={engine.workers}]")
     if args.out:
         _export_artifacts(Path(args.out), reports, engine)
+    if sweep_failures and not interrupted:
+        print(f"\n{len(sweep_failures)} cell(s) exhausted their retry budget:")
+        for failure in sweep_failures:
+            print(f"  {failure.summary()}")
+        print("(tracebacks are recorded in the journal; see docs/fault_tolerance.md)")
+        return 1
+    if interrupted:
+        if engine.journal is not None:
+            print(f"[resume with: --resume {engine.journal.path}]")
+        return 130
     return 0
 
 

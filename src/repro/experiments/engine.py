@@ -12,6 +12,17 @@ Results are memoised in a content-keyed :class:`~.artifacts.ArtifactCache`
 (SHA-256 of the canonical job payload), so re-runs and ``cli all`` are
 incremental: only cells whose configuration changed are re-simulated.
 
+Execution is fault-tolerant (see ``docs/fault_tolerance.md``): jobs run
+under a :class:`~repro.runtime.JobGuard` (timeout, bounded retries with
+deterministic backoff), worker-process deaths re-spawn the pool and
+re-queue in-flight cells instead of aborting the sweep, exhausted cells
+collapse into structured :class:`~repro.runtime.JobFailure` results in
+``engine.failures``, and an optional write-ahead
+:class:`~repro.runtime.SweepJournal` makes sweeps resumable across
+crashes and ``kill -9`` (``cli sweep --resume``).  SIGINT/SIGTERM drain
+gracefully: in-flight cells finish and are journaled before the
+interrupt surfaces.
+
 Typical use::
 
     engine = ExperimentEngine(workers=8, cache=ArtifactCache(".repro-cache"))
@@ -23,14 +34,24 @@ from __future__ import annotations
 
 import dataclasses
 import os
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..cluster import SimulationMetrics, reset_task_counter, run_simulation
 from ..core import GFSConfig, GFSScheduler, make_ablation
 from ..dynamics import DynamicsSpec, get_dynamics
 from ..obs import Recorder
+from ..runtime import (
+    ChaosPlan,
+    ChaosWorker,
+    GracefulShutdown,
+    JobFailure,
+    JobGuard,
+    ResilientExecutor,
+    SweepError,
+    SweepJournal,
+)
 from ..schedulers import (
     ChronusScheduler,
     FGDScheduler,
@@ -39,7 +60,13 @@ from ..schedulers import (
     YarnCSScheduler,
 )
 from ..workloads import Scenario, get_scenario
-from .artifacts import ArtifactCache, flatten_metrics
+from .artifacts import (
+    ArtifactCache,
+    content_key,
+    flatten_metrics,
+    metrics_from_payload,
+    metrics_to_payload,
+)
 from .config import ExperimentScale
 
 #: Hashable key/value pairs standing in for a dict in frozen specs.
@@ -296,6 +323,28 @@ def execute_job_profiled(job: SimulationJob) -> Tuple[SimulationMetrics, Dict[st
     return metrics, job_profile_summary(recorder, _time.perf_counter() - start)
 
 
+def run_cell(job: SimulationJob, attempt: int = 1) -> SimulationMetrics:
+    """Executor-protocol adapter for :func:`execute_job`.
+
+    The resilient executor calls workers as ``worker(item, attempt)``;
+    a simulation cell is attempt-independent (fully deterministic from
+    the spec), so the attempt number is ignored — it exists for the
+    chaos harness, which keys fault injection on it.
+    """
+    return execute_job(job)
+
+
+def run_cell_profiled(
+    job: SimulationJob, attempt: int = 1
+) -> Tuple[SimulationMetrics, Dict[str, object]]:
+    """Executor-protocol adapter for :func:`execute_job_profiled`."""
+    return execute_job_profiled(job)
+
+
+def _job_key(job: SimulationJob) -> str:
+    return job.key
+
+
 # ----------------------------------------------------------------------
 # The engine
 # ----------------------------------------------------------------------
@@ -305,10 +354,14 @@ class EngineStats:
 
     executed: int = 0
     cache_hits: int = 0
+    #: cells restored from a sweep journal instead of being re-simulated
+    journal_hits: int = 0
+    #: cells whose retry budget was exhausted (see ``engine.failures``)
+    failed: int = 0
 
     @property
     def total(self) -> int:
-        return self.executed + self.cache_hits
+        return self.executed + self.cache_hits + self.journal_hits
 
 
 def default_worker_count() -> int:
@@ -331,6 +384,18 @@ class ExperimentEngine:
     into the export.  Metrics stay bit-identical (parity-suite
     guarantee), so profiling neither splits nor invalidates the cache —
     cells served from cache simply carry no ``obs_*`` columns.
+
+    Fault tolerance: a ``guard`` bounds each cell (timeout, retries with
+    deterministic backoff); cells that exhaust the budget become
+    :class:`~repro.runtime.JobFailure` entries in :attr:`failures`
+    rather than aborting the sweep, and — when ``guard.strict`` (the
+    default) — a :class:`~repro.runtime.SweepError` summarising them is
+    raised *after* every other cell has run and been persisted.  A
+    ``journal`` (path or :class:`~repro.runtime.SweepJournal`) makes the
+    sweep resumable: completed cells replay from the journal on the next
+    run, crashes included.  ``chaos`` wraps workers in the self-chaos
+    harness (tests/benchmarks only).  ``progress`` is an optional
+    ``callback(job, outcome)`` fired as each cell completes or fails.
     """
 
     def __init__(
@@ -339,20 +404,43 @@ class ExperimentEngine:
         cache: Optional[ArtifactCache] = None,
         use_cache: bool = True,
         profile: bool = False,
+        guard: Optional[JobGuard] = None,
+        journal: Union[SweepJournal, str, Path, None] = None,
+        chaos: Optional[ChaosPlan] = None,
+        progress: Optional[Callable[[SimulationJob, object], None]] = None,
     ):
         self.workers = max(1, int(workers))
         self.cache = cache
         self.use_cache = use_cache and cache is not None
         self.profile = profile
+        self.guard = guard or JobGuard()
+        self.journal = (
+            journal if isinstance(journal, SweepJournal) or journal is None
+            else SweepJournal(journal)
+        )
+        self.chaos = chaos
+        self.progress = progress
         self.stats = EngineStats()
         #: every (job, metrics) pair this engine has produced, in run order
         self.history: List[Tuple[SimulationJob, SimulationMetrics]] = []
         #: job key -> ``obs_*`` profile summary (profiled cells only)
         self.profiles: Dict[str, Dict[str, object]] = {}
+        #: job key -> structured failure for cells that exhausted retries
+        self.failures: Dict[str, JobFailure] = {}
+        #: supervision counters from the last run (rebuilds/retries/timeouts)
+        self.last_supervision: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     def run(self, jobs: Sequence[SimulationJob]) -> Dict[str, SimulationMetrics]:
-        """Execute a grid; returns ``{job.key: metrics}`` in job order."""
+        """Execute a grid; returns ``{job.key: metrics}`` in job order.
+
+        Failed cells (retry budget exhausted) are absent from the result;
+        with ``guard.strict`` a :class:`SweepError` is raised after all
+        other cells completed and were journaled/cached, so nothing
+        already computed is lost.  On SIGINT/SIGTERM the engine drains
+        in-flight cells, journals them and re-raises
+        ``KeyboardInterrupt``; completed work is in :attr:`history`.
+        """
         jobs = list(jobs)
         keys = [job.key for job in jobs]
         if len(set(keys)) != len(keys):
@@ -368,54 +456,133 @@ class ExperimentEngine:
             for job in jobs
         ]
 
+        # Replay the journal before anything runs: cells a previous
+        # (possibly killed) invocation completed are restored from their
+        # journaled payloads, keyed by content hash so they survive grid
+        # renames exactly like cache entries do.
+        replayed: Dict[str, Dict[str, object]] = {}
+        if self.journal is not None:
+            replayed = self.journal.replay().completed
+
+        want_keys = self.use_cache or self.journal is not None
         results: Dict[str, SimulationMetrics] = {}
         pending: List[Tuple[SimulationJob, Optional[str]]] = []
         for job in jobs:
-            cache_key = None
+            cache_key = content_key(cache_payload(job)) if want_keys else None
+            if cache_key is not None and cache_key in replayed:
+                results[job.key] = metrics_from_payload(replayed[cache_key])
+                self.stats.journal_hits += 1
+                continue
             if self.use_cache:
-                cache_key = self.cache.key_for(cache_payload(job))
                 cached = self.cache.load(cache_key)
                 if cached is not None:
                     results[job.key] = cached
                     self.stats.cache_hits += 1
+                    if self.journal is not None:
+                        # Mirror cache hits into the journal so a resume
+                        # of this sweep is self-contained even if the
+                        # cache directory vanishes.
+                        self.journal.record_done(
+                            job.key, cache_key, metrics_to_payload(cached)
+                        )
                     continue
             pending.append((job, cache_key))
 
+        interrupted = False
+        run_failures: Dict[str, JobFailure] = {}
         if pending:
-            if self.workers > 1 and len(pending) > 1:
-                computed = self._run_pool([job for job, _ in pending])
-            elif self.profile:
-                computed = {}
-                for job, _ in pending:
-                    metrics, summary = execute_job_profiled(job)
-                    computed[job.key] = metrics
-                    self.profiles[job.key] = summary
-            else:
-                computed = {job.key: execute_job(job) for job, _ in pending}
-            for job, cache_key in pending:
-                metrics = computed[job.key]
-                results[job.key] = metrics
-                self.stats.executed += 1
-                if self.use_cache and cache_key is not None:
-                    self.cache.store(cache_key, metrics, payload=cache_payload(job))
+            if self.journal is not None:
+                self.journal.begin_sweep(
+                    len(pending),
+                    meta={"workers": self.workers, "profile": self.profile},
+                )
+            key_to_cache = {job.key: cache_key for job, cache_key in pending}
+            worker: Callable = run_cell_profiled if self.profile else run_cell
+            if self.chaos is not None:
+                worker = ChaosWorker(self.chaos, worker)
+            # A lone pending cell normally runs in-process (no pool
+            # startup cost), but timeouts and chaos need a separate
+            # worker process to kill.
+            eff_workers = self.workers
+            if (
+                len(pending) == 1
+                and self.chaos is None
+                and self.guard.timeout_s is None
+            ):
+                eff_workers = 1
+            executor = ResilientExecutor(
+                worker,
+                workers=eff_workers,
+                guard=self.guard,
+                key_of=_job_key,
+            )
+            try:
+                with GracefulShutdown() as stop:
+                    for job, outcome in executor.run(
+                        [job for job, _ in pending], should_stop=stop.triggered
+                    ):
+                        self._absorb(job, outcome, key_to_cache[job.key],
+                                     results, run_failures)
+                    interrupted = stop.requested
+            except KeyboardInterrupt:
+                interrupted = True
+            finally:
+                self.last_supervision = {
+                    "pool_rebuilds": executor.pool_rebuilds,
+                    "retries": executor.retries,
+                    "timeouts": executor.timeouts,
+                }
+                if self.journal is not None:
+                    self.journal.close()
+        elif self.journal is not None:
+            # Nothing ran (all replayed/cached) but cache-hit mirroring
+            # may have opened the handle.
+            self.journal.close()
 
-        ordered = {job.key: results[job.key] for job in jobs}
-        self.history.extend((job, ordered[job.key]) for job in jobs)
+        ordered = {job.key: results[job.key] for job in jobs if job.key in results}
+        self.history.extend(
+            (job, ordered[job.key]) for job in jobs if job.key in ordered
+        )
+        if interrupted:
+            # Everything drained is journaled/cached and now in
+            # :attr:`history`; surface the interrupt so callers (the
+            # CLI) can flush a partial grid and exit 130.
+            raise KeyboardInterrupt
+        if run_failures and self.guard.strict:
+            raise SweepError(list(run_failures.values()))
         return ordered
 
-    def _run_pool(self, jobs: Sequence[SimulationJob]) -> Dict[str, SimulationMetrics]:
-        max_workers = min(self.workers, len(jobs))
-        computed: Dict[str, SimulationMetrics] = {}
-        worker = execute_job_profiled if self.profile else execute_job
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            futures = {pool.submit(worker, job): job for job in jobs}
-            for future in as_completed(futures):
-                key = futures[future].key
-                if self.profile:
-                    computed[key], self.profiles[key] = future.result()
-                else:
-                    computed[key] = future.result()
-        return computed
+    def _absorb(
+        self,
+        job: SimulationJob,
+        outcome: object,
+        cache_key: Optional[str],
+        results: Dict[str, SimulationMetrics],
+        run_failures: Dict[str, JobFailure],
+    ) -> None:
+        """Fold one executor outcome into results, journal and cache."""
+        if isinstance(outcome, JobFailure):
+            self.failures[job.key] = outcome
+            run_failures[job.key] = outcome
+            self.stats.failed += 1
+            if self.journal is not None:
+                self.journal.record_failed(job.key, cache_key, outcome.as_payload())
+        else:
+            if self.profile:
+                metrics, summary = outcome
+                self.profiles[job.key] = summary
+            else:
+                metrics = outcome
+            results[job.key] = metrics
+            self.stats.executed += 1
+            if self.journal is not None:
+                self.journal.record_done(
+                    job.key, cache_key, metrics_to_payload(metrics)
+                )
+            if self.use_cache and cache_key is not None:
+                self.cache.store(cache_key, metrics, payload=cache_payload(job))
+        if self.progress is not None:
+            self.progress(job, outcome)
 
     # ------------------------------------------------------------------
     def grid_rows(self) -> List[Dict[str, object]]:

@@ -1,0 +1,317 @@
+"""Fault-tolerant job execution over a supervised process pool.
+
+``concurrent.futures.ProcessPoolExecutor`` has a brutal failure model:
+one worker dying (``kill -9``, OOM kill, a segfaulting extension)
+*breaks the entire pool* — every in-flight future raises
+``BrokenProcessPool`` and nothing can be submitted again.  A hung worker
+is worse: nothing times out, ever.  :class:`ResilientExecutor` wraps the
+pool with the supervision loop both cases need:
+
+* **pool loss** — on ``BrokenProcessPool`` the pool is torn down and
+  re-spawned, and every in-flight job is re-queued with its attempt
+  counter bumped (the guilty job cannot be distinguished from innocent
+  ones, so all pay one attempt — bounded by the guard's retry budget);
+* **timeouts** — each submitted job carries a deadline; when one
+  expires the pool's worker processes are terminated outright (the only
+  way to un-wedge a hung worker), the pool is rebuilt, the expired job
+  is charged an attempt and innocent in-flight jobs are re-queued *for
+  free* at their current attempt;
+* **retries** — failed attempts re-queue after a deterministic
+  exponential backoff (:class:`~.guards.RetryPolicy`); jobs whose
+  budget is exhausted yield a structured
+  :class:`~.guards.JobFailure` instead of raising;
+* **draining** — a ``should_stop`` callable (typically
+  :class:`~.signals.GracefulShutdown`'s flag) stops new submissions
+  and lets in-flight work finish, so Ctrl-C flushes a consistent
+  partial grid instead of vaporising it.
+
+Jobs flow out of :meth:`run` as ``(item, outcome)`` pairs the moment
+they complete — outcome is the worker's return value or a
+:class:`JobFailure` — so callers can journal and cache incrementally.
+Workers are called as ``worker(item, attempt)``; the attempt number is
+what lets the chaos harness (:mod:`.chaos`) key fault injection
+deterministically per execution.
+
+The ``workers=1`` path runs everything in-process (the reference serial
+path: no pool, no pickling) with the same retry/failure semantics;
+``timeout_s`` is not enforceable there since a process cannot preempt
+itself.
+"""
+
+from __future__ import annotations
+
+import signal
+import sys
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Deque, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .guards import JobFailure, JobGuard
+
+#: maximum seconds one supervision-loop wait blocks (keeps the loop
+#: responsive to drain signals and retry timers)
+_POLL_S = 0.25
+
+
+def _worker_init() -> None:
+    """Signal hygiene for pool workers (runs in each worker process).
+
+    A terminal Ctrl-C delivers SIGINT to the whole foreground process
+    group; workers ignore it so the parent's graceful drain can let
+    in-flight cells finish instead of vaporising them.  SIGTERM resets
+    to the default disposition: forked workers would otherwise inherit
+    the parent's :class:`~.signals.GracefulShutdown` handler, whose
+    first-signal-sets-a-flag semantics would make ``terminate()`` a
+    no-op and force :func:`_kill_pool` through its SIGKILL escalation.
+    """
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    except (ValueError, OSError):  # pragma: no cover - restricted platforms
+        pass
+    # A worker whose parent is SIGKILL'd would otherwise block forever on
+    # the call queue — the fork kept the queue pipe's write end open in
+    # every worker, so the blocking read never sees EOF — leaking a
+    # process (and any inherited pipes) per kill.  On Linux, ask the
+    # kernel to deliver SIGTERM the moment the parent dies.
+    if sys.platform.startswith("linux"):
+        try:
+            import ctypes
+
+            PR_SET_PDEATHSIG = 1
+            ctypes.CDLL(None, use_errno=True).prctl(
+                PR_SET_PDEATHSIG, signal.SIGTERM, 0, 0, 0
+            )
+        except (OSError, AttributeError, ValueError):  # pragma: no cover
+            pass
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down *now*, terminating workers (hung ones included)."""
+    processes = list(getattr(pool, "_processes", {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for proc in processes:
+        try:
+            proc.terminate()
+        except (OSError, ValueError):
+            pass
+    deadline = time.monotonic() + 5.0
+    for proc in processes:
+        try:
+            proc.join(timeout=max(0.0, deadline - time.monotonic()))
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=1.0)
+        except (OSError, ValueError, AssertionError):
+            pass
+
+
+class ResilientExecutor:
+    """Supervised execution of a batch of keyed jobs (see module doc).
+
+    ``worker`` must be picklable for ``workers > 1`` (a top-level
+    function or an instance of a top-level class) and is invoked as
+    ``worker(item, attempt)``.  ``key_of`` extracts the stable string
+    key failures are reported under (defaults to ``item.key``).
+    """
+
+    def __init__(
+        self,
+        worker: Callable,
+        workers: int = 1,
+        guard: Optional[JobGuard] = None,
+        key_of: Callable[[object], str] = None,
+    ):
+        self.worker = worker
+        self.workers = max(1, int(workers))
+        self.guard = guard or JobGuard()
+        self.key_of = key_of or (lambda item: item.key)
+        #: supervision counters (pool rebuilds, retries, timeouts)
+        self.pool_rebuilds = 0
+        self.retries = 0
+        self.timeouts = 0
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        items: Sequence[object],
+        should_stop: Optional[Callable[[], bool]] = None,
+    ) -> Iterator[Tuple[object, object]]:
+        """Yield ``(item, result_or_JobFailure)`` as jobs complete.
+
+        With ``should_stop`` returning ``True`` the executor stops
+        launching queued jobs, drains in-flight ones and returns;
+        un-launched items are simply never yielded (the caller's
+        journal knows which cells completed).
+        """
+        if self.workers == 1:
+            yield from self._run_serial(items, should_stop)
+        else:
+            yield from self._run_pool(items, should_stop)
+
+    # ------------------------------------------------------------------
+    # Serial reference path
+    # ------------------------------------------------------------------
+    def _run_serial(
+        self, items: Sequence[object], should_stop: Optional[Callable[[], bool]]
+    ) -> Iterator[Tuple[object, object]]:
+        for item in items:
+            if should_stop is not None and should_stop():
+                return
+            attempt = 1
+            while True:
+                try:
+                    result = self.worker(item, attempt)
+                except KeyboardInterrupt:
+                    raise
+                except Exception as exc:  # noqa: BLE001 - guard converts to JobFailure
+                    if self.guard.allows_retry(attempt):
+                        self.retries += 1
+                        time.sleep(self.guard.backoff.delay(attempt))
+                        attempt += 1
+                        continue
+                    yield item, JobFailure.from_exception(self.key_of(item), exc, attempt)
+                    break
+                else:
+                    yield item, result
+                    break
+
+    # ------------------------------------------------------------------
+    # Supervised pool path
+    # ------------------------------------------------------------------
+    def _run_pool(
+        self, items: Sequence[object], should_stop: Optional[Callable[[], bool]]
+    ) -> Iterator[Tuple[object, object]]:
+        # queue entries: (item, attempt, not_before_monotonic)
+        queue: Deque[Tuple[object, int, float]] = deque(
+            (item, 1, 0.0) for item in items
+        )
+        inflight: Dict[object, Tuple[object, int, float]] = {}  # future -> (item, attempt, deadline)
+        pool: Optional[ProcessPoolExecutor] = None
+        timeout_s = self.guard.timeout_s
+        try:
+            while queue or inflight:
+                now = time.monotonic()
+                stopping = should_stop is not None and should_stop()
+
+                # Launch ready jobs up to the worker count (capping
+                # in-flight at `workers` keeps deadlines honest: a
+                # submitted job starts immediately).
+                if not stopping:
+                    pending_retry: List[Tuple[object, int, float]] = []
+                    while queue and len(inflight) < self.workers:
+                        item, attempt, not_before = queue.popleft()
+                        if not_before > now:
+                            pending_retry.append((item, attempt, not_before))
+                            continue
+                        if pool is None:
+                            pool = ProcessPoolExecutor(
+                                max_workers=self.workers, initializer=_worker_init
+                            )
+                        try:
+                            future = pool.submit(self.worker, item, attempt)
+                        except (BrokenProcessPool, RuntimeError):
+                            # Pool broke between harvests; recycle and requeue.
+                            queue.appendleft((item, attempt, not_before))
+                            for fut, entry in inflight.items():
+                                fut.cancel()
+                                queue.append(entry[:2] + (0.0,))
+                            inflight.clear()
+                            _kill_pool(pool)
+                            pool = None
+                            self.pool_rebuilds += 1
+                            break
+                        deadline = now + timeout_s if timeout_s else float("inf")
+                        inflight[future] = (item, attempt, deadline)
+                    queue.extendleft(reversed(pending_retry))
+
+                if not inflight:
+                    if stopping or not queue:
+                        return
+                    # Everything queued is backing off; sleep to the
+                    # earliest retry time.
+                    wake = min(entry[2] for entry in queue)
+                    time.sleep(min(_POLL_S, max(0.0, wake - time.monotonic())))
+                    continue
+
+                next_deadline = min(entry[2] for entry in inflight.values())
+                wait_s = max(0.0, min(_POLL_S, next_deadline - time.monotonic()))
+                done, _ = wait(list(inflight), timeout=wait_s, return_when=FIRST_COMPLETED)
+
+                pool_broken = False
+                outcomes: List[Tuple[object, object]] = []
+                for future in done:
+                    item, attempt, _ = inflight.pop(future)
+                    try:
+                        result = future.result()
+                    except BrokenProcessPool as exc:
+                        pool_broken = True
+                        outcomes.extend(self._requeue_or_fail(queue, item, attempt, exc, "worker-lost"))
+                    except KeyboardInterrupt:
+                        raise
+                    except Exception as exc:  # noqa: BLE001 - guard converts to JobFailure
+                        outcomes.extend(self._requeue_or_fail(queue, item, attempt, exc, "exception"))
+                    else:
+                        outcomes.append((item, result))
+
+                if pool_broken:
+                    # The whole pool is dead: every other in-flight job
+                    # failed with it.  Charge them all one attempt (the
+                    # guilty one is indistinguishable) and rebuild.
+                    for future, (item, attempt, _) in list(inflight.items()):
+                        exc = BrokenProcessPool("worker process died; pool re-spawned")
+                        outcomes.extend(self._requeue_or_fail(queue, item, attempt, exc, "worker-lost"))
+                    inflight.clear()
+                    if pool is not None:
+                        _kill_pool(pool)
+                        pool = None
+                    self.pool_rebuilds += 1
+
+                # Deadline sweep: a hung worker cannot be interrupted, so
+                # an expired job costs the whole pool — innocents requeue
+                # at their current attempt (they did nothing wrong).
+                now = time.monotonic()
+                expired = [f for f, entry in inflight.items() if entry[2] <= now]
+                if expired:
+                    for future in expired:
+                        item, attempt, _ = inflight.pop(future)
+                        self.timeouts += 1
+                        exc = TimeoutError(
+                            f"job exceeded guard timeout of {timeout_s:.3f}s"
+                        )
+                        outcomes.extend(self._requeue_or_fail(queue, item, attempt, exc, "timeout"))
+                    for future, (item, attempt, _) in inflight.items():
+                        queue.append((item, attempt, 0.0))
+                    inflight.clear()
+                    if pool is not None:
+                        _kill_pool(pool)
+                        pool = None
+                    self.pool_rebuilds += 1
+
+                yield from outcomes
+
+            # Clean finish: let workers exit normally.
+            if pool is not None:
+                pool.shutdown(wait=True)
+                pool = None
+        finally:
+            if pool is not None:
+                _kill_pool(pool)
+
+    def _requeue_or_fail(
+        self,
+        queue: Deque,
+        item: object,
+        attempt: int,
+        exc: BaseException,
+        kind: str,
+    ) -> List[Tuple[object, JobFailure]]:
+        """Schedule a retry with backoff, or emit a terminal failure."""
+        if self.guard.allows_retry(attempt):
+            self.retries += 1
+            not_before = time.monotonic() + self.guard.backoff.delay(attempt)
+            queue.append((item, attempt + 1, not_before))
+            return []
+        return [(item, JobFailure.from_exception(self.key_of(item), exc, attempt, kind=kind))]

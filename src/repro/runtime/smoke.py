@@ -1,0 +1,317 @@
+"""Kill-and-resume smoke of the fault-tolerance layer (``make chaos-harness-smoke``).
+
+Four scenarios, each ending in a byte-identity check against an
+uninterrupted reference:
+
+1. **sigint-drain** — a journaled sweep in a subprocess is SIGINT'd after
+   its first cell; the driver drains in-flight work, flushes the journal
+   and exits; resuming from the journal replays the drained cells and the
+   final grid serializes byte-identically to a quiet single-worker run.
+2. **sigkill-resume** — the same sweep is ``kill -9``'d (no handler can
+   run, exactly like the OOM killer); the fsync'd write-ahead journal
+   keeps every completed cell and the resume converges byte-identically.
+3. **chaos-convergence** — a seeded :class:`ChaosPlan` kills and poisons
+   worker processes in-process; with a retry budget covering the strikes
+   the sweep converges byte-identically, visible only in the supervision
+   counters (the pool really was rebuilt).
+4. **service-restart** — a durable scheduler service is stopped mid
+   session and rebooted over the same state directory; the recovered
+   session continues to a metrics fingerprint byte-identical to one
+   uninterrupted server life.
+
+Everything runs from one entry point (``python -m repro.runtime.smoke``)
+with exit status 0 only if every scenario holds, which makes this the
+cheapest "did crash-safety break?" gate for CI.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+from ..experiments import (
+    ExperimentEngine,
+    ExperimentScale,
+    SchedulerSpec,
+    WorkloadSpec,
+    metrics_to_payload,
+    sweep_jobs,
+)
+from ..service.client import AsyncServiceClient
+from ..service.server import SchedulerServer
+from .chaos import ChaosPlan
+from .guards import JobGuard, RetryPolicy
+from .journal import SweepJournal
+
+#: hard wall-clock cap on the whole smoke run
+SMOKE_TIMEOUT_S = 300.0
+
+TINY = ExperimentScale(name="tiny", num_nodes=8, duration_hours=6.0, seed=13)
+
+#: fast backoff so injected retry storms don't stretch the smoke
+FAST = RetryPolicy(base_s=0.01, factor=2.0, cap_s=0.05)
+
+#: exit code the driver uses after a clean SIGINT drain
+DRAIN_EXIT = 3
+
+
+def sweep_grid():
+    """A 4x2 grid: wide enough that a mid-sweep signal always leaves
+    un-launched cells behind for the resume to run."""
+    specs = [
+        SchedulerSpec(kind="yarn-cs"),
+        SchedulerSpec(kind="fgd"),
+        SchedulerSpec(kind="chronus"),
+        SchedulerSpec(kind="lyra"),
+    ]
+    workloads = [
+        WorkloadSpec(spot_scale=2.0, label="medium"),
+        WorkloadSpec(scenario="burst", spot_scale=1.0, label="burst"),
+    ]
+    return sweep_jobs(TINY, specs, workloads, prefix="grid")
+
+
+def grid_bytes(results) -> bytes:
+    """Canonical byte serialization of a sweep's full metrics grid."""
+    payloads = {key: metrics_to_payload(m) for key, m in results.items()}
+    return json.dumps(payloads, sort_keys=True).encode()
+
+
+# The subprocess driver: the same journaled sweep the scenarios resume.
+# Progress stretches the sweep (~0.5s per absorbed cell) so the parent
+# can signal it mid-flight after reading the first CELL-DONE marker.
+_DRIVER = """
+import sys, time
+from repro.experiments import (
+    ExperimentEngine, ExperimentScale, SchedulerSpec, WorkloadSpec, sweep_jobs,
+)
+
+TINY = ExperimentScale(name="tiny", num_nodes=8, duration_hours=6.0, seed=13)
+specs = [
+    SchedulerSpec(kind="yarn-cs"),
+    SchedulerSpec(kind="fgd"),
+    SchedulerSpec(kind="chronus"),
+    SchedulerSpec(kind="lyra"),
+]
+workloads = [
+    WorkloadSpec(spot_scale=2.0, label="medium"),
+    WorkloadSpec(scenario="burst", spot_scale=1.0, label="burst"),
+]
+jobs = sweep_jobs(TINY, specs, workloads, prefix="grid")
+
+def progress(job, outcome):
+    print("CELL-DONE", flush=True)
+    time.sleep(0.5)
+
+engine = ExperimentEngine(workers=2, journal=sys.argv[1], progress=progress)
+try:
+    engine.run(jobs)
+except KeyboardInterrupt:
+    print("DRAINED", len(engine.history), flush=True)
+    sys.exit(3)
+print("FINISHED", flush=True)
+"""
+
+
+def _drive_and_signal(journal_path: Path, sig: int) -> int:
+    """Run the driver sweep, signal it after its first completed cell."""
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2])
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-c", _DRIVER, str(journal_path)],
+        stdout=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    try:
+        line = proc.stdout.readline()
+        assert "CELL-DONE" in line, f"driver died before its first cell: {line!r}"
+        proc.send_signal(sig)
+        # wait(), not communicate(): a SIGKILL'd driver leaves orphaned
+        # pool workers holding the stdout pipe open, so waiting for EOF
+        # would hang until they exit.
+        proc.wait(timeout=120)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        proc.wait(timeout=10)
+        raise AssertionError(f"driver did not exit after signal {sig}")
+    finally:
+        proc.stdout.close()
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+    return proc.returncode
+
+
+def scenario_sigint_drain(workdir: Path, reference: bytes, jobs) -> str:
+    journal_path = workdir / "sigint.jsonl"
+    rc = _drive_and_signal(journal_path, signal.SIGINT)
+    assert rc == DRAIN_EXIT, f"driver exited {rc}, expected a clean drain"
+
+    replay = SweepJournal(journal_path).replay()
+    assert replay.torn_lines == 0, "SIGINT drain must flush whole records"
+    drained = len(replay.completed)
+    assert 1 <= drained < len(jobs), f"drained {drained} of {len(jobs)} cells"
+
+    engine = ExperimentEngine(workers=2, journal=journal_path)
+    resumed = engine.run(jobs)
+    assert engine.stats.journal_hits == drained, engine.stats
+    assert engine.stats.executed == len(jobs) - drained, engine.stats
+    assert grid_bytes(resumed) == reference, "resumed grid diverged from reference"
+    return f"drained {drained}/{len(jobs)} cells, resume byte-identical"
+
+
+def scenario_sigkill_resume(workdir: Path, reference: bytes, jobs) -> str:
+    journal_path = workdir / "sigkill.jsonl"
+    rc = _drive_and_signal(journal_path, signal.SIGKILL)
+    assert rc == -signal.SIGKILL, f"driver exited {rc}, expected -SIGKILL"
+
+    replay = SweepJournal(journal_path).replay()
+    survived = len(replay.completed)
+    assert survived >= 1, "the fsync'd journal lost the completed cell"
+
+    engine = ExperimentEngine(workers=2, journal=journal_path)
+    resumed = engine.run(jobs)
+    assert engine.stats.journal_hits == survived, engine.stats
+    assert grid_bytes(resumed) == reference, "resumed grid diverged from reference"
+    return f"journal kept {survived} cell(s) through kill -9, resume byte-identical"
+
+
+def scenario_chaos_convergence(reference: bytes, jobs) -> str:
+    # Pure seed search (no RNG): the first plan scheduling a kill and a
+    # poison on first attempts, which are the only guaranteed attempts.
+    plan = None
+    for seed in range(200):
+        candidate = ChaosPlan(seed=seed, kill_prob=0.25, poison_prob=0.25, max_strikes=2)
+        first = [candidate.decide(job.key, 1) for job in jobs]
+        if "kill" in first and "poison" in first:
+            plan = candidate
+            break
+    assert plan is not None, "no seed under 200 schedules a kill and a poison"
+
+    guard = JobGuard(retries=plan.max_strikes + 1, backoff=FAST)
+    engine = ExperimentEngine(workers=2, guard=guard, chaos=plan)
+    results = engine.run(jobs)
+    assert engine.failures == {}, engine.failures
+    assert grid_bytes(results) == reference, "chaotic grid diverged from reference"
+    supervision = engine.last_supervision
+    assert supervision["pool_rebuilds"] >= 1, supervision
+    return (
+        f"seed {plan.seed}: {supervision['pool_rebuilds']} pool rebuild(s), "
+        f"{supervision['retries']} retr(ies), grid byte-identical"
+    )
+
+
+SERVICE_PARAMS = {"scheduler": "gfs", "num_nodes": 6, "duration_hours": 4.0, "seed": 11}
+
+
+def _service_task(task_id: str, submit_time: float) -> dict:
+    return {
+        "task_id": task_id,
+        "task_type": 0,
+        "num_pods": 1,
+        "gpus_per_pod": 4.0,
+        "duration": 1800.0,
+        "submit_time": submit_time,
+        "org": "smoke-org",
+    }
+
+
+async def _service_life(state_dir: Path, body):
+    server = SchedulerServer(state_dir=state_dir)
+    await server.start(port=0)
+    client = AsyncServiceClient(server.host, server.port)
+    try:
+        return await body(client)
+    finally:
+        await client.close()
+        await server.stop()
+
+
+async def _service_fingerprint_two_lives(state_dir: Path) -> str:
+    wave = [_service_task(f"smoke-{i:03d}", i * 120.0) for i in range(12)]
+
+    async def first_life(client):
+        session = await client.create_session(**SERVICE_PARAMS)
+        sid = session["session_id"]
+        await client.submit(sid, wave)
+        await client.advance(sid, until=1800.0)
+        return sid
+
+    sid = await _service_life(state_dir, first_life)
+
+    async def second_life(client):
+        ready = await client.readyz()
+        assert ready["status"] == "ready", ready
+        assert ready["recovered"] >= 1, ready
+        assert ready["quarantined"] == 0, ready
+        await client.advance(sid, until=3600.0)
+        status = await client.status(sid)
+        metrics = await client.metrics(sid)
+        return json.dumps({"status": status, "metrics": metrics}, sort_keys=True)
+
+    return await _service_life(state_dir, second_life)
+
+
+async def _service_fingerprint_one_life(state_dir: Path) -> str:
+    wave = [_service_task(f"smoke-{i:03d}", i * 120.0) for i in range(12)]
+
+    async def life(client):
+        session = await client.create_session(**SERVICE_PARAMS)
+        sid = session["session_id"]
+        await client.submit(sid, wave)
+        await client.advance(sid, until=1800.0)
+        await client.advance(sid, until=3600.0)
+        status = await client.status(sid)
+        metrics = await client.metrics(sid)
+        return json.dumps({"status": status, "metrics": metrics}, sort_keys=True)
+
+    return await _service_life(state_dir, life)
+
+
+def scenario_service_restart(workdir: Path) -> str:
+    restarted = asyncio.run(_service_fingerprint_two_lives(workdir / "state-restart"))
+    reference = asyncio.run(_service_fingerprint_one_life(workdir / "state-reference"))
+    assert restarted == reference, "recovered session diverged from one-life reference"
+    return f"recovered session fingerprint byte-identical ({len(restarted)} bytes)"
+
+
+def main() -> int:
+    import threading
+
+    watchdog = threading.Timer(SMOKE_TIMEOUT_S, os._exit, args=(124,))
+    watchdog.daemon = True
+    watchdog.start()
+    try:
+        jobs = sweep_grid()
+        reference = grid_bytes(ExperimentEngine(workers=1).run(jobs))
+        print(f"[chaos-harness-smoke] reference grid: {len(jobs)} cells")
+
+        detail = scenario_sigint_drain(_workdir(), reference, jobs)
+        print(f"[chaos-harness-smoke] sigint-drain: {detail}")
+        detail = scenario_sigkill_resume(_workdir(), reference, jobs)
+        print(f"[chaos-harness-smoke] sigkill-resume: {detail}")
+        detail = scenario_chaos_convergence(reference, jobs)
+        print(f"[chaos-harness-smoke] chaos-convergence: {detail}")
+        detail = scenario_service_restart(_workdir())
+        print(f"[chaos-harness-smoke] service-restart: {detail}")
+
+        print("[chaos-harness-smoke] OK")
+        return 0
+    finally:
+        watchdog.cancel()
+
+
+def _workdir() -> Path:
+    return Path(tempfile.mkdtemp(prefix="chaos-smoke-"))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,13 @@ API, the session lifecycle and the snapshot wire format are documented in
 snapshot→restore→continue == uninterrupted, fork isolation) is enforced
 by ``tests/test_stepping_determinism.py``, ``tests/test_snapshot_fork.py``
 and ``tests/test_service.py``.
+
+With ``serve --state-dir DIR`` the service is additionally *durable*:
+sessions persist across server restarts (boot recovery with corrupt-file
+quarantine, ``GET /readyz`` gating), requests honour per-request
+deadlines, and clients retry safely through ``Idempotency-Key`` headers
+— see ``docs/fault_tolerance.md`` and
+``tests/test_service_durability.py``.
 """
 
 from .client import AsyncServiceClient, ServiceClient, ServiceError
@@ -32,15 +39,19 @@ from .snapshot import (
     decode_snapshot,
     encode_snapshot,
 )
+from .store import RecoveryReport, SessionStore, StoredSession
 
 __all__ = [
     "AsyncServiceClient",
+    "RecoveryReport",
     "SchedulerServer",
     "ServiceClient",
     "ServiceError",
+    "SessionStore",
     "SimulationSession",
     "SnapshotError",
     "SNAPSHOT_VERSION",
+    "StoredSession",
     "decode_snapshot",
     "encode_snapshot",
     "task_from_payload",

@@ -55,10 +55,42 @@ def main(argv: Optional[List[str]] = None) -> int:
         choices=_LOG_LEVELS,
         help="enable the structured access log at this level (default: off)",
     )
+    parser.add_argument(
+        "--state-dir",
+        default=None,
+        metavar="DIR",
+        help="durable session store: sessions are persisted here after every "
+        "mutation and recovered on the next boot (default: in-memory only; "
+        "see docs/fault_tolerance.md)",
+    )
+    parser.add_argument(
+        "--request-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request deadline; past it the client gets 504 while the "
+        "operation finishes server-side (default: unbounded)",
+    )
+    parser.add_argument(
+        "--persist-interval",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="with --state-dir, also flush every session periodically "
+        "(default: %(default)ss; 0 disables the periodic flush)",
+    )
     args = parser.parse_args(argv)
     configure_logging(args.log_level)
     try:
-        asyncio.run(serve(args.host, args.port))
+        asyncio.run(
+            serve(
+                args.host,
+                args.port,
+                state_dir=args.state_dir,
+                request_timeout_s=args.request_timeout,
+                persist_interval_s=args.persist_interval or None,
+            )
+        )
     except KeyboardInterrupt:
         print("scheduler service stopped")
     return 0

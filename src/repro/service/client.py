@@ -12,6 +12,19 @@ Two flavours over the same JSON API:
 Both raise :class:`ServiceError` on any non-200 response, carrying the
 HTTP status and the server's ``error`` message.  Method names mirror the
 routes one-to-one; see ``docs/service.md`` for the payload shapes.
+
+Retry safety
+------------
+Transport failures (server restart, dropped keep-alive connection) are
+retried with deterministic backoff — but *only* for requests that are
+safe to deliver twice.  ``GET``/``DELETE`` are idempotent by HTTP
+semantics; every ``POST`` the clients emit carries a generated
+``Idempotency-Key`` header, reused verbatim across retries of the same
+logical call, which the server uses to coalesce duplicate deliveries
+onto one operation (see ``docs/fault_tolerance.md``).  A ``POST`` issued
+without a key — only possible through the private transport layer — is
+never retried: if the connection dies after the bytes left, the request
+may or may not have executed, and replaying it blind could double-submit.
 """
 
 from __future__ import annotations
@@ -19,9 +32,24 @@ from __future__ import annotations
 import asyncio
 import http.client
 import json
+import time
+import uuid
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from .snapshot import snapshot_from_text, snapshot_to_text
+
+#: transport-level delivery attempts per request (1 original + retries)
+DEFAULT_RETRIES = 2
+
+
+def _retry_delay_s(attempt: int, base_s: float = 0.05, cap_s: float = 2.0) -> float:
+    """Deterministic exponential backoff between delivery attempts."""
+    return min(cap_s, base_s * 2.0 ** (attempt - 1))
+
+
+def _new_idempotency_key() -> str:
+    """A fresh key binding all deliveries of one logical mutating call."""
+    return uuid.uuid4().hex
 
 
 class ServiceError(RuntimeError):
@@ -45,43 +73,84 @@ class ServiceClient:
     >>> client.close()
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 8151, timeout: float = 60.0):
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8151,
+        timeout: float = 60.0,
+        retries: int = DEFAULT_RETRIES,
+    ):
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = max(0, int(retries))
         self._conn: Optional[http.client.HTTPConnection] = None
 
     # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
-    def _request_bytes(self, method: str, path: str, payload: Optional[Mapping] = None) -> bytes:
-        body = json.dumps(payload).encode("utf-8") if payload is not None else b""
-        headers = {"Content-Type": "application/json", "Content-Length": str(len(body))}
+    def _send_once(self, method: str, path: str, body: bytes, headers: Dict[str, str]):
         if self._conn is None:
             self._conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
-        try:
-            self._conn.request(method, path, body=body, headers=headers)
-            response = self._conn.getresponse()
-            data = response.read()
-        except (http.client.HTTPException, ConnectionError, OSError):
-            # Stale keep-alive connection (server restarted, idle timeout):
-            # reconnect once before giving up.
-            self.close()
-            self._conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
-            self._conn.request(method, path, body=body, headers=headers)
-            response = self._conn.getresponse()
-            data = response.read()
-        if response.status != 200:
-            try:
-                decoded = json.loads(data) if data else {}
-            except ValueError:
-                decoded = {}
-            raise ServiceError(response.status, decoded.get("error", data.decode("utf-8", "replace")))
-        return data
+        self._conn.request(method, path, body=body, headers=headers)
+        response = self._conn.getresponse()
+        return response, response.read()
 
-    def _request(self, method: str, path: str, payload: Optional[Mapping] = None) -> Dict:
-        data = self._request_bytes(method, path, payload)
+    def _request_bytes(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Mapping] = None,
+        idempotency_key: Optional[str] = None,
+    ) -> bytes:
+        body = json.dumps(payload).encode("utf-8") if payload is not None else b""
+        headers = {"Content-Type": "application/json", "Content-Length": str(len(body))}
+        if idempotency_key:
+            headers["Idempotency-Key"] = idempotency_key
+        # A request is only re-sent when delivering it twice is safe:
+        # GET/DELETE by HTTP semantics, POST only when an Idempotency-Key
+        # binds every delivery to one server-side operation.  An unkeyed
+        # POST that dies mid-flight may already have executed — replaying
+        # it blind could double-submit, so it fails loudly instead.
+        retryable = method in ("GET", "DELETE") or bool(idempotency_key)
+        attempts = 1 + (self.retries if retryable else 0)
+        last_exc: Optional[Exception] = None
+        for attempt in range(1, attempts + 1):
+            try:
+                response, data = self._send_once(method, path, body, headers)
+            except (http.client.HTTPException, ConnectionError, OSError) as exc:
+                # The connection is poisoned either way (stale keep-alive,
+                # server restart); drop it so any retry reconnects fresh.
+                self.close()
+                last_exc = exc
+                if attempt < attempts:
+                    time.sleep(_retry_delay_s(attempt))
+                    continue
+                raise
+            if response.status != 200:
+                try:
+                    decoded = json.loads(data) if data else {}
+                except ValueError:
+                    decoded = {}
+                raise ServiceError(
+                    response.status, decoded.get("error", data.decode("utf-8", "replace"))
+                )
+            return data
+        raise last_exc  # unreachable; loop always returns or raises
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Mapping] = None,
+        idempotency_key: Optional[str] = None,
+    ) -> Dict:
+        data = self._request_bytes(method, path, payload, idempotency_key=idempotency_key)
         return json.loads(data) if data else {}
+
+    def _post(self, path: str, payload: Optional[Mapping] = None) -> Dict:
+        """A mutating POST: one fresh key spans all its delivery attempts."""
+        return self._request("POST", path, payload, idempotency_key=_new_idempotency_key())
 
     def close(self) -> None:
         if self._conn is not None:
@@ -101,13 +170,16 @@ class ServiceClient:
         return self._request("GET", "/healthz")
 
     def shutdown(self) -> Dict:
-        return self._request("POST", "/shutdown")
+        return self._post("/shutdown")
+
+    def readyz(self) -> Dict:
+        return self._request("GET", "/readyz")
 
     def list_sessions(self) -> List[Dict]:
         return self._request("GET", "/sessions")["sessions"]
 
     def create_session(self, **params) -> Dict:
-        return self._request("POST", "/sessions", params)
+        return self._post("/sessions", params)
 
     def status(self, session_id: str) -> Dict:
         return self._request("GET", f"/sessions/{session_id}")
@@ -121,19 +193,19 @@ class ServiceClient:
         until: Optional[float] = None,
         max_events: Optional[int] = None,
     ) -> Dict:
-        return self._request(
-            "POST", f"/sessions/{session_id}/advance", {"until": until, "max_events": max_events}
+        return self._post(
+            f"/sessions/{session_id}/advance", {"until": until, "max_events": max_events}
         )
 
     def submit(self, session_id: str, tasks: Sequence[Mapping]) -> Dict:
-        return self._request("POST", f"/sessions/{session_id}/submit", {"tasks": list(tasks)})
+        return self._post(f"/sessions/{session_id}/submit", {"tasks": list(tasks)})
 
     def inject(self, session_id: str, **payload) -> Dict:
-        return self._request("POST", f"/sessions/{session_id}/inject", payload)
+        return self._post(f"/sessions/{session_id}/inject", payload)
 
     def what_if(self, session_id: str, task: Mapping, horizon_hours: float = 24.0) -> Dict:
-        return self._request(
-            "POST", f"/sessions/{session_id}/whatif", {"task": dict(task), "horizon_hours": horizon_hours}
+        return self._post(
+            f"/sessions/{session_id}/whatif", {"task": dict(task), "horizon_hours": horizon_hours}
         )
 
     def occupancy(self, session_id: str) -> Dict:
@@ -155,12 +227,12 @@ class ServiceClient:
 
     def snapshot(self, session_id: str) -> bytes:
         """Export the session's state as versioned envelope bytes."""
-        text = self._request("POST", f"/sessions/{session_id}/snapshot")["snapshot"]
+        text = self._post(f"/sessions/{session_id}/snapshot")["snapshot"]
         return snapshot_from_text(text)
 
     def restore(self, session_id: str, snapshot: bytes) -> Dict:
-        return self._request(
-            "POST", f"/sessions/{session_id}/restore", {"snapshot": snapshot_to_text(snapshot)}
+        return self._post(
+            f"/sessions/{session_id}/restore", {"snapshot": snapshot_to_text(snapshot)}
         )
 
 
@@ -182,9 +254,10 @@ class AsyncServiceClient:
     >>> await client.close()
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 8151):
+    def __init__(self, host: str = "127.0.0.1", port: int = 8151, retries: int = DEFAULT_RETRIES):
         self.host = host
         self.port = port
+        self.retries = max(0, int(retries))
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
 
@@ -202,21 +275,21 @@ class AsyncServiceClient:
             self._reader = None
             self._writer = None
 
-    async def _request_bytes(
-        self, method: str, path: str, payload: Optional[Mapping] = None
-    ) -> bytes:
+    async def _send_once(self, method: str, path: str, body: bytes, extra_headers: str) -> tuple:
         await self._connect()
-        body = json.dumps(payload).encode("utf-8") if payload is not None else b""
         head = (
             f"{method} {path} HTTP/1.1\r\n"
             f"Host: {self.host}:{self.port}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extra_headers}"
             f"Connection: keep-alive\r\n\r\n"
         )
         self._writer.write(head.encode("latin-1") + body)
         await self._writer.drain()
         status_line = await self._reader.readline()
+        if not status_line:
+            raise ConnectionError("connection closed before a response arrived")
         status = int(status_line.split()[1])
         length = 0
         while True:
@@ -227,17 +300,52 @@ class AsyncServiceClient:
             if name.strip().lower() == "content-length":
                 length = int(value.strip())
         data = await self._reader.readexactly(length) if length else b""
-        if status != 200:
-            try:
-                decoded = json.loads(data) if data else {}
-            except ValueError:
-                decoded = {}
-            raise ServiceError(status, decoded.get("error", data.decode("utf-8", "replace")))
-        return data
+        return status, data
 
-    async def _request(self, method: str, path: str, payload: Optional[Mapping] = None) -> Dict:
-        data = await self._request_bytes(method, path, payload)
+    async def _request_bytes(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Mapping] = None,
+        idempotency_key: Optional[str] = None,
+    ) -> bytes:
+        body = json.dumps(payload).encode("utf-8") if payload is not None else b""
+        extra = f"Idempotency-Key: {idempotency_key}\r\n" if idempotency_key else ""
+        # Same retry discipline as the sync client: re-send only what is
+        # safe to deliver twice (GET/DELETE, or a keyed POST).
+        retryable = method in ("GET", "DELETE") or bool(idempotency_key)
+        attempts = 1 + (self.retries if retryable else 0)
+        for attempt in range(1, attempts + 1):
+            try:
+                status, data = await self._send_once(method, path, body, extra)
+            except (ConnectionError, OSError, asyncio.IncompleteReadError, ValueError) as exc:
+                await self.close()
+                if attempt < attempts:
+                    await asyncio.sleep(_retry_delay_s(attempt))
+                    continue
+                raise
+            if status != 200:
+                try:
+                    decoded = json.loads(data) if data else {}
+                except ValueError:
+                    decoded = {}
+                raise ServiceError(status, decoded.get("error", data.decode("utf-8", "replace")))
+            return data
+        raise ConnectionError("request not delivered")  # unreachable
+
+    async def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Mapping] = None,
+        idempotency_key: Optional[str] = None,
+    ) -> Dict:
+        data = await self._request_bytes(method, path, payload, idempotency_key=idempotency_key)
         return json.loads(data) if data else {}
+
+    async def _post(self, path: str, payload: Optional[Mapping] = None) -> Dict:
+        """A mutating POST: one fresh key spans all its delivery attempts."""
+        return await self._request("POST", path, payload, idempotency_key=_new_idempotency_key())
 
     # ------------------------------------------------------------------
     # API surface (mirrors ServiceClient)
@@ -246,13 +354,16 @@ class AsyncServiceClient:
         return await self._request("GET", "/healthz")
 
     async def shutdown(self) -> Dict:
-        return await self._request("POST", "/shutdown")
+        return await self._post("/shutdown")
+
+    async def readyz(self) -> Dict:
+        return await self._request("GET", "/readyz")
 
     async def list_sessions(self) -> List[Dict]:
         return (await self._request("GET", "/sessions"))["sessions"]
 
     async def create_session(self, **params) -> Dict:
-        return await self._request("POST", "/sessions", params)
+        return await self._post("/sessions", params)
 
     async def status(self, session_id: str) -> Dict:
         return await self._request("GET", f"/sessions/{session_id}")
@@ -266,19 +377,19 @@ class AsyncServiceClient:
         until: Optional[float] = None,
         max_events: Optional[int] = None,
     ) -> Dict:
-        return await self._request(
-            "POST", f"/sessions/{session_id}/advance", {"until": until, "max_events": max_events}
+        return await self._post(
+            f"/sessions/{session_id}/advance", {"until": until, "max_events": max_events}
         )
 
     async def submit(self, session_id: str, tasks: Sequence[Mapping]) -> Dict:
-        return await self._request("POST", f"/sessions/{session_id}/submit", {"tasks": list(tasks)})
+        return await self._post(f"/sessions/{session_id}/submit", {"tasks": list(tasks)})
 
     async def inject(self, session_id: str, **payload) -> Dict:
-        return await self._request("POST", f"/sessions/{session_id}/inject", payload)
+        return await self._post(f"/sessions/{session_id}/inject", payload)
 
     async def what_if(self, session_id: str, task: Mapping, horizon_hours: float = 24.0) -> Dict:
-        return await self._request(
-            "POST", f"/sessions/{session_id}/whatif", {"task": dict(task), "horizon_hours": horizon_hours}
+        return await self._post(
+            f"/sessions/{session_id}/whatif", {"task": dict(task), "horizon_hours": horizon_hours}
         )
 
     async def occupancy(self, session_id: str) -> Dict:
@@ -299,10 +410,10 @@ class AsyncServiceClient:
         return (await self._request_bytes("GET", "/metrics")).decode("utf-8")
 
     async def snapshot(self, session_id: str) -> bytes:
-        text = (await self._request("POST", f"/sessions/{session_id}/snapshot"))["snapshot"]
+        text = (await self._post(f"/sessions/{session_id}/snapshot"))["snapshot"]
         return snapshot_from_text(text)
 
     async def restore(self, session_id: str, snapshot: bytes) -> Dict:
-        return await self._request(
-            "POST", f"/sessions/{session_id}/restore", {"snapshot": snapshot_to_text(snapshot)}
+        return await self._post(
+            f"/sessions/{session_id}/restore", {"snapshot": snapshot_to_text(snapshot)}
         )

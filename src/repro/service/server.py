@@ -25,9 +25,25 @@ executor.  That gives:
   long advances run off-loop, bounded by ``max_events`` chunking in
   the what-if path.
 
+Durability (see ``docs/fault_tolerance.md``)
+--------------------------------------------
+With a ``state_dir`` the server is restart-safe: every mutating
+operation persists the session afterwards — parameters plus the same
+versioned, checksummed snapshot envelope clients export — via atomic
+temp-and-rename writes, and boot recovery rebuilds every stored session
+before ``GET /readyz`` flips to ready (corrupt files are quarantined,
+never fatal).  ``POST`` requests may carry an ``Idempotency-Key``
+header: duplicate deliveries of the same key (client retries after a
+lost connection) coalesce onto the *same* in-flight operation and
+receive its one result, so a retried submit never double-submits.  A
+``request_timeout_s`` bounds each request: past the deadline the client
+gets 504 while the operation runs to completion server-side (cancelling
+mid-mutation under the session lock would be worse than waiting).
+
 Routes (all JSON; see ``docs/service.md`` for request/response bodies)::
 
     GET    /healthz
+    GET    /readyz                       503 until boot recovery finishes
     GET    /metrics                      Prometheus text: server + every session
     GET    /sessions                     list sessions
     POST   /sessions                     create a session
@@ -52,16 +68,25 @@ import asyncio
 import json
 import logging
 import time
-from typing import Dict, Optional, Tuple
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Tuple
 
 from ..obs import PROMETHEUS_CONTENT_TYPE, Recorder, render_recorder
-from .session import SessionError, SimulationSession
+from .session import SessionError, SimulationSession, advance_session_counter
 from .snapshot import SnapshotError, snapshot_from_text, snapshot_to_text
+from .store import RecoveryReport, SessionStore
 
 #: requests larger than this are rejected outright (snapshots dominate;
 #: a FULL-scale mid-run snapshot compresses to a few MB)
 MAX_BODY_BYTES = 256 * 1024 * 1024
 _MAX_HEADER_BYTES = 64 * 1024
+
+#: completed idempotency results kept for duplicate delivery (oldest drop)
+IDEMPOTENCY_CACHE_SIZE = 1024
+
+#: session verbs whose handlers mutate simulator state (persisted after)
+_MUTATING_VERBS = frozenset({"advance", "submit", "inject", "restore"})
 
 #: Structured access log (one line per request); silent unless the host
 #: configures logging — ``cli serve --log-level info`` does.
@@ -98,7 +123,12 @@ class SchedulerServer:
     >>> await server.wait_closed()           # returns after POST /shutdown
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        state_dir: str | Path | None = None,
+        request_timeout_s: Optional[float] = None,
+        persist_interval_s: Optional[float] = None,
+    ) -> None:
         self._sessions: Dict[str, SimulationSession] = {}
         self._locks: Dict[str, asyncio.Lock] = {}
         self._server: Optional[asyncio.base_events.Server] = None
@@ -107,6 +137,18 @@ class SchedulerServer:
         self.port: int = 0
         #: server-level instruments: request counts and latencies
         self.recorder = Recorder()
+        #: durable session store (None = in-memory-only service, as before)
+        self.store = SessionStore(state_dir) if state_dir else None
+        #: per-request deadline; past it the client gets 504 while the
+        #: operation runs to completion server-side
+        self.request_timeout_s = request_timeout_s
+        self.persist_interval_s = persist_interval_s
+        #: what boot recovery found (None until it has run)
+        self.recovery: Optional[RecoveryReport] = None
+        self._ready = asyncio.Event()
+        #: scoped Idempotency-Key -> in-flight/completed dispatch task
+        self._idempotent: "OrderedDict[str, asyncio.Task]" = OrderedDict()
+        self._persist_task: Optional[asyncio.Task] = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -115,6 +157,12 @@ class SchedulerServer:
         self._server = await asyncio.start_server(self._handle_connection, host, port)
         sock = self._server.sockets[0]
         self.host, self.port = sock.getsockname()[:2]
+        # The listener is up (so readiness probes can connect and get
+        # 503) but session routes stay gated until recovery finishes.
+        await self._recover_sessions()
+        self._ready.set()
+        if self.store is not None and self.persist_interval_s:
+            self._persist_task = asyncio.ensure_future(self._persist_loop())
 
     async def wait_closed(self) -> None:
         """Block until a shutdown is requested, then close the listener."""
@@ -123,10 +171,78 @@ class SchedulerServer:
 
     async def stop(self) -> None:
         self._shutdown.set()
+        if self._persist_task is not None:
+            self._persist_task.cancel()
+            try:
+                await self._persist_task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+            self._persist_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    async def _recover_sessions(self) -> None:
+        """Rebuild every stored session before the server reports ready.
+
+        Corrupt files were already quarantined by the store scan; a
+        session that fails to *rebuild* (e.g. its scenario was removed
+        from the registry) is quarantined the same way — one lost
+        session must never take the boot down.
+        """
+        if self.store is None:
+            return
+        loop = asyncio.get_running_loop()
+        report = await loop.run_in_executor(None, self.store.recover)
+        for stored in list(report.recovered):
+            try:
+                session = await loop.run_in_executor(
+                    None,
+                    SimulationSession.from_stored,
+                    stored.params,
+                    stored.session_id,
+                    stored.snapshot,
+                )
+            except Exception as exc:  # noqa: BLE001 - quarantine, don't crash the boot
+                _ACCESS_LOG.warning(
+                    "quarantining unrecoverable session %s: %s", stored.session_id, exc
+                )
+                self.store.quarantine(self.store._path(stored.session_id))
+                report.recovered.remove(stored)
+                report.quarantined.append(f"{stored.session_id}.json")
+                continue
+            self._sessions[session.session_id] = session
+            self._locks[session.session_id] = asyncio.Lock()
+        # Never re-issue a recovered id to a newly-created session.
+        advance_session_counter(report.max_session_number() + 1)
+        self.recovery = report
+
+    def _persist(self, session: SimulationSession) -> None:
+        """Durably save one session (called off-loop, under its lock)."""
+        if self.store is not None:
+            self.store.save(session.session_id, dict(session.params), session.snapshot_bytes())
+
+    async def _persist_loop(self) -> None:
+        """Periodic belt-and-braces flush of every live session."""
+        while not self._shutdown.is_set():
+            try:
+                await asyncio.wait_for(self._shutdown.wait(), self.persist_interval_s)
+                return
+            except asyncio.TimeoutError:
+                pass
+            for session_id in list(self._sessions):
+                session = self._sessions.get(session_id)
+                lock = self._locks.get(session_id)
+                if session is None or lock is None:
+                    continue
+                try:
+                    await self._run(lock, lambda s=session: self._persist(s))
+                except Exception as exc:  # noqa: BLE001 - a failed flush must not kill the loop
+                    _ACCESS_LOG.warning("periodic persist of %s failed: %s", session_id, exc)
 
     # ------------------------------------------------------------------
     # HTTP plumbing
@@ -146,9 +262,9 @@ class SchedulerServer:
                     break
                 if request is None:
                     break  # client closed the connection
-                method, path, body, keep_alive = request
+                method, path, body, keep_alive, headers = request
                 started = time.perf_counter()
-                status, payload = await self._dispatch(method, path, body)
+                status, payload = await self._dispatch(method, path, body, headers)
                 duration_ms = (time.perf_counter() - started) * 1000.0
                 self._observe_request(method, path, status, duration_ms)
                 await self._write_response(writer, status, payload, keep_alive)
@@ -156,11 +272,16 @@ class SchedulerServer:
                     break
         except (ConnectionError, asyncio.IncompleteReadError):
             pass  # client went away mid-request; nothing to clean up
+        except asyncio.CancelledError:
+            # Event-loop teardown cancels idle keep-alive handlers;
+            # finishing normally (socket closed below) keeps asyncio's
+            # stream-protocol done-callback from logging the cancel.
+            pass
         finally:
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionError, OSError):
+            except (ConnectionError, OSError, asyncio.CancelledError):
                 pass
 
     def _observe_request(self, method: str, path: str, status: int, duration_ms: float) -> None:
@@ -181,7 +302,7 @@ class SchedulerServer:
     @staticmethod
     async def _read_request(
         reader: asyncio.StreamReader,
-    ) -> Optional[Tuple[str, str, bytes, bool]]:
+    ) -> Optional[Tuple[str, str, bytes, bool, Dict[str, str]]]:
         """Parse one HTTP/1.1 request; ``None`` on clean connection close."""
         try:
             header_blob = await reader.readuntil(b"\r\n\r\n")
@@ -208,7 +329,7 @@ class SchedulerServer:
             raise _HttpError(413, f"request body too large ({length} bytes)")
         body = await reader.readexactly(length) if length else b""
         keep_alive = headers.get("connection", "keep-alive").lower() != "close"
-        return method.upper(), path, body, keep_alive
+        return method.upper(), path, body, keep_alive, headers
 
     @staticmethod
     async def _write_response(
@@ -222,7 +343,8 @@ class SchedulerServer:
             content_type = "application/json"
         reason = {200: "OK", 400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed",
                   409: "Conflict", 413: "Payload Too Large", 431: "Headers Too Large",
-                  500: "Internal Server Error"}.get(status, "Unknown")
+                  500: "Internal Server Error", 503: "Service Unavailable",
+                  504: "Gateway Timeout"}.get(status, "Unknown")
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
             f"Content-Type: {content_type}\r\n"
@@ -236,7 +358,50 @@ class SchedulerServer:
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
-    async def _dispatch(self, method: str, path: str, body: bytes) -> Tuple[int, object]:
+    async def _dispatch(
+        self, method: str, path: str, body: bytes, headers: Optional[Mapping[str, str]] = None
+    ) -> Tuple[int, object]:
+        """Dispatch one request: idempotency coalescing + deadline.
+
+        A ``POST`` carrying an ``Idempotency-Key`` header is bound to one
+        dispatch task per ``(method, path, key)``: the first delivery
+        starts the operation, every duplicate — including retries sent
+        while the original is *still executing* under the session lock —
+        awaits that same task and receives its single result.  The
+        per-request deadline 504s the waiter but never cancels the task
+        (the operation finishes server-side; a later retry with the same
+        key collects the result).
+        """
+        idem_key = (headers or {}).get("idempotency-key", "")
+        inner = self._dispatch_inner(method, path, body)
+        if idem_key and method == "POST":
+            scoped = f"{method} {path.split('?', 1)[0]} {idem_key}"
+            task = self._idempotent.get(scoped)
+            if task is None:
+                task = asyncio.ensure_future(inner)
+                self._idempotent[scoped] = task
+                while len(self._idempotent) > IDEMPOTENCY_CACHE_SIZE:
+                    self._idempotent.popitem(last=False)
+            else:
+                inner.close()  # duplicate delivery: join the original
+            return await self._await_with_deadline(task)
+        return await self._await_with_deadline(asyncio.ensure_future(inner))
+
+    async def _await_with_deadline(self, task: "asyncio.Task") -> Tuple[int, object]:
+        if self.request_timeout_s is None:
+            return await asyncio.shield(task)
+        try:
+            return await asyncio.wait_for(asyncio.shield(task), self.request_timeout_s)
+        except asyncio.TimeoutError:
+            return 504, {
+                "error": (
+                    f"request exceeded the {self.request_timeout_s:g}s deadline; "
+                    "the operation continues server-side (retry idempotent "
+                    "requests with the same Idempotency-Key to collect the result)"
+                )
+            }
+
+    async def _dispatch_inner(self, method: str, path: str, body: bytes) -> Tuple[int, object]:
         try:
             return await self._route(method, path, body)
         except _HttpError as exc:
@@ -249,12 +414,29 @@ class SchedulerServer:
     async def _route(self, method: str, path: str, body: bytes) -> Tuple[int, object]:
         path = path.split("?", 1)[0].rstrip("/") or "/"
         if path == "/healthz" and method == "GET":
-            return 200, {"status": "ok", "sessions": len(self._sessions)}
+            return 200, {
+                "status": "ok",
+                "ready": self._ready.is_set(),
+                "sessions": len(self._sessions),
+                "durable": self.store is not None,
+            }
+        if path == "/readyz" and method == "GET":
+            if not self._ready.is_set():
+                return 503, {"status": "starting", "reason": "recovering sessions"}
+            payload = {"status": "ready", "sessions": len(self._sessions)}
+            if self.recovery is not None:
+                payload["recovered"] = len(self.recovery.recovered)
+                payload["quarantined"] = len(self.recovery.quarantined)
+            return 200, payload
         if path == "/metrics" and method == "GET":
             return await self._metrics_page()
         if path == "/shutdown" and method == "POST":
             self._shutdown.set()
             return 200, {"status": "shutting down"}
+        if not self._ready.is_set():
+            # Session routes are gated until boot recovery finishes, so a
+            # client can never observe (or mutate) a half-recovered set.
+            return 503, {"error": "server is starting: session recovery in progress"}
         if path == "/sessions":
             if method == "GET":
                 return 200, {"sessions": [s.status() for s in self._sessions.values()]}
@@ -304,8 +486,14 @@ class SchedulerServer:
 
     async def _create_session(self, payload: dict) -> Tuple[int, object]:
         loop = asyncio.get_running_loop()
-        # Construction builds a trace and a cluster — CPU work, off-loop.
-        session = await loop.run_in_executor(None, SimulationSession, payload)
+
+        def build() -> SimulationSession:
+            # Construction builds a trace and a cluster — CPU work, off-loop.
+            session = SimulationSession(payload)
+            self._persist(session)
+            return session
+
+        session = await loop.run_in_executor(None, build)
         self._sessions[session.session_id] = session
         self._locks[session.session_id] = asyncio.Lock()
         return 200, session.status()
@@ -327,6 +515,8 @@ class SchedulerServer:
             if method == "DELETE":
                 del self._sessions[session_id]
                 del self._locks[session_id]
+                if self.store is not None:
+                    self.store.delete(session_id)
                 return 200, {"deleted": session_id}
             raise _HttpError(405, f"{method} not allowed on session root")
 
@@ -355,6 +545,15 @@ class SchedulerServer:
         handler = routes.get((method, verb))
         if handler is None:
             raise _HttpError(404, f"no route for {method} /sessions/{{id}}/{verb}")
+        if self.store is not None and verb in _MUTATING_VERBS:
+            # Apply-then-persist as one unit under the session lock, so
+            # the stored state can never skip a mutation.
+            def apply_and_persist():
+                result = handler()
+                self._persist(session)
+                return result
+
+            return 200, await self._run(lock, apply_and_persist)
         return 200, await self._run(lock, handler)
 
     @staticmethod
@@ -386,9 +585,27 @@ class SchedulerServer:
         return value
 
 
-async def serve(host: str = "127.0.0.1", port: int = 8151) -> None:
+async def serve(
+    host: str = "127.0.0.1",
+    port: int = 8151,
+    state_dir: str | Path | None = None,
+    request_timeout_s: Optional[float] = None,
+    persist_interval_s: Optional[float] = None,
+) -> None:
     """Start a server and run until ``POST /shutdown`` (CLI entry point)."""
-    server = SchedulerServer()
+    server = SchedulerServer(
+        state_dir=state_dir,
+        request_timeout_s=request_timeout_s,
+        persist_interval_s=persist_interval_s,
+    )
     await server.start(host, port)
-    print(f"scheduler service listening on http://{server.host}:{server.port}")
+    banner = f"scheduler service listening on http://{server.host}:{server.port}"
+    if server.store is not None:
+        recovered = len(server.recovery.recovered) if server.recovery else 0
+        quarantined = len(server.recovery.quarantined) if server.recovery else 0
+        banner += f" (durable: {server.store.root}, recovered {recovered} session(s)"
+        if quarantined:
+            banner += f", quarantined {quarantined} file(s)"
+        banner += ")"
+    print(banner)
     await server.wait_closed()

@@ -412,6 +412,25 @@ class SimulationSession:
     # ------------------------------------------------------------------
     # Snapshot / restore
     # ------------------------------------------------------------------
+    @classmethod
+    def from_stored(
+        cls,
+        params: Mapping[str, object],
+        session_id: str,
+        snapshot: bytes,
+    ) -> "SimulationSession":
+        """Rebuild a session from a durable store record (boot recovery).
+
+        Construction re-derives the host-local scaffolding (scenario,
+        trace, recorder) from the stored parameters, then the simulator
+        state is replaced wholesale from the checksummed snapshot — so a
+        recovered session advances bit-identically to one that never
+        went down (guarded by ``tests/test_service_durability.py``).
+        """
+        session = cls(params, session_id=session_id)
+        session.restore_bytes(snapshot)
+        return session
+
     def snapshot_bytes(self) -> bytes:
         """The full session state as a versioned, checksummed envelope."""
         from .snapshot import encode_snapshot
@@ -433,3 +452,15 @@ def reset_session_counter() -> None:
     """Restart session-id numbering (test isolation)."""
     global _session_counter
     _session_counter = itertools.count(1)
+
+
+def advance_session_counter(min_next: int) -> None:
+    """Make newly-created sessions number from at least ``min_next``.
+
+    Boot recovery calls this with one past the highest recovered
+    ``session-NNNN`` ordinal so restored ids are never re-issued to new
+    sessions.  Only call before any new sessions exist (at boot or after
+    :func:`reset_session_counter`): the counter is replaced outright.
+    """
+    global _session_counter
+    _session_counter = itertools.count(max(1, int(min_next)))

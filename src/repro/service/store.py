@@ -1,0 +1,164 @@
+"""Durable session store: service sessions that survive server restarts.
+
+One JSON file per session under a state directory::
+
+    <state_dir>/session-0001.json
+        {"store_version": 1, "session_id": "...", "params": {...},
+         "saved_at": ..., "snapshot": "<base64 REPROSNP envelope>"}
+
+The ``snapshot`` field reuses the versioned, zlib-compressed,
+SHA-256-checksummed envelope of :mod:`repro.service.snapshot` (PR 6), so
+a stored session carries the same integrity guarantees as a snapshot a
+client exported — a flipped bit anywhere in the state fails the checksum
+instead of resurrecting a corrupt simulator.  Files are written via
+:func:`repro.runtime.atomic_write_text` (unique temp + fsync + rename):
+a crash mid-save leaves the previous good file, never a torn one.
+
+Boot recovery (:meth:`SessionStore.recover`) scans the directory and
+returns every loadable record; unreadable or checksum-failing files are
+**quarantined** — renamed to ``<name>.quarantined`` and reported, never
+deleted and never allowed to crash the boot — so one bad file costs one
+session, not the server.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import re
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..runtime import atomic_write_text
+from .snapshot import (
+    SnapshotError,
+    decode_snapshot,
+    snapshot_from_text,
+    snapshot_to_text,
+)
+
+#: store record format version
+STORE_VERSION = 1
+
+_LOG = logging.getLogger("repro.service.store")
+
+_SESSION_NUM = re.compile(r"session-(\d+)$")
+
+
+@dataclass
+class StoredSession:
+    """One recoverable session record read back from disk."""
+
+    session_id: str
+    params: Dict[str, object]
+    snapshot: bytes
+    saved_at: float = 0.0
+
+
+@dataclass
+class RecoveryReport:
+    """What a boot-time scan of the state directory found."""
+
+    recovered: List[StoredSession] = field(default_factory=list)
+    #: file names that failed to parse/verify and were quarantined
+    quarantined: List[str] = field(default_factory=list)
+
+    def max_session_number(self) -> int:
+        """Highest ``session-NNNN`` ordinal among recovered sessions."""
+        best = 0
+        for stored in self.recovered:
+            match = _SESSION_NUM.match(stored.session_id)
+            if match:
+                best = max(best, int(match.group(1)))
+        return best
+
+
+class SessionStore:
+    """File-per-session durable store under one state directory."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+
+    def _path(self, session_id: str) -> Path:
+        # Session ids are server-generated (``session-NNNN``), but guard
+        # against path tricks anyway: the id must be a plain file name.
+        if "/" in session_id or "\\" in session_id or session_id in (".", ".."):
+            raise ValueError(f"invalid session id for storage: {session_id!r}")
+        return self.root / f"{session_id}.json"
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def save(self, session_id: str, params: Dict[str, object], snapshot: bytes) -> Path:
+        """Durably persist one session's parameters and state envelope."""
+        record = {
+            "store_version": STORE_VERSION,
+            "session_id": session_id,
+            "params": params,
+            "saved_at": time.time(),
+            "snapshot": snapshot_to_text(snapshot),
+        }
+        path = self._path(session_id)
+        self.root.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(path, json.dumps(record))
+        return path
+
+    def delete(self, session_id: str) -> None:
+        """Forget a session (e.g. after ``DELETE /sessions/{id}``)."""
+        try:
+            self._path(session_id).unlink(missing_ok=True)
+        except OSError:
+            pass  # a leftover file only costs one spurious recovery
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def _read_one(self, path: Path) -> Optional[StoredSession]:
+        record = json.loads(path.read_text())
+        if not isinstance(record, dict):
+            raise ValueError("store record is not an object")
+        version = record.get("store_version")
+        if version != STORE_VERSION:
+            raise ValueError(f"unsupported store_version {version!r}")
+        session_id = record.get("session_id")
+        params = record.get("params")
+        text = record.get("snapshot")
+        if not isinstance(session_id, str) or not isinstance(params, dict) or not isinstance(text, str):
+            raise ValueError("store record is missing required fields")
+        snapshot = snapshot_from_text(text)
+        # Verify the envelope (magic, version, SHA-256 digest) at scan
+        # time: a flipped bit quarantines the file here, instead of
+        # surfacing as a rebuild failure at session-recovery time.
+        decode_snapshot(snapshot)
+        return StoredSession(
+            session_id=session_id,
+            params=params,
+            snapshot=snapshot,
+            saved_at=float(record.get("saved_at", 0.0)),
+        )
+
+    def quarantine(self, path: Path) -> None:
+        """Move an unusable file aside (never delete, never re-scan)."""
+        target = path.with_name(path.name + ".quarantined")
+        try:
+            path.replace(target)
+        except OSError:
+            pass
+
+    def recover(self) -> RecoveryReport:
+        """Scan the state directory; quarantine anything unreadable."""
+        report = RecoveryReport()
+        if not self.root.exists():
+            return report
+        for path in sorted(self.root.glob("*.json")):
+            try:
+                stored = self._read_one(path)
+            except (ValueError, KeyError, TypeError, OSError, SnapshotError) as exc:
+                _LOG.warning("quarantining corrupt session file %s: %s", path, exc)
+                self.quarantine(path)
+                report.quarantined.append(path.name)
+                continue
+            report.recovered.append(stored)
+        return report

@@ -94,13 +94,51 @@ class TestArtifactCache:
         assert cache.load(k1).hp.jct_mean == 100.0
         assert cache.load(k2).hp.jct_mean == 200.0
 
-    def test_corrupt_entry_treated_as_miss_and_dropped(self, tmp_path):
+    def test_corrupt_entry_treated_as_miss_and_quarantined(self, tmp_path):
         cache = ArtifactCache(tmp_path)
         key = cache.key_for({"x": 1})
         path = cache.store(key, sample_metrics())
         path.write_text("{not json")
         assert cache.load(key) is None
+        # The corrupt file is moved aside, not deleted: evidence survives,
+        # but the key no longer resolves (a later load is a clean miss).
         assert not path.exists()
+        quarantined = path.with_name(path.name + ".quarantined")
+        assert quarantined.exists()
+        assert quarantined.read_text() == "{not json"
+        assert cache.quarantined == 1
+        assert cache.load(key) is None
+        assert cache.misses == 2
+
+    @pytest.mark.parametrize(
+        "mangle",
+        [
+            pytest.param(lambda text: "", id="empty"),
+            pytest.param(lambda text: text[: len(text) // 2], id="truncated"),
+            pytest.param(lambda text: "\x00" * 64, id="binary-garbage"),
+            pytest.param(
+                lambda text: json.dumps({"key": "k", "payload": None}),
+                id="missing-metrics",
+            ),
+            pytest.param(
+                lambda text: json.dumps({"metrics": {"hp": "not-a-dict"}}),
+                id="wrong-shape",
+            ),
+        ],
+    )
+    def test_corruption_matrix_all_quarantine_as_miss(self, tmp_path, mangle):
+        cache = ArtifactCache(tmp_path)
+        key = cache.key_for({"x": 2})
+        path = cache.store(key, sample_metrics())
+        path.write_text(mangle(path.read_text()))
+        assert cache.load(key) is None
+        assert cache.quarantined == 1
+        assert path.with_name(path.name + ".quarantined").exists()
+        # A fresh store after quarantine fully repairs the entry.
+        cache.store(key, sample_metrics())
+        reloaded = cache.load(key)
+        assert reloaded is not None
+        assert reloaded.makespan == sample_metrics().makespan
 
     def test_clear(self, tmp_path):
         cache = ArtifactCache(tmp_path)

@@ -1,0 +1,280 @@
+"""Crash-safe resumable sweeps: interrupt mid-sweep, resume bit-identically.
+
+The contract under test (``docs/fault_tolerance.md``):
+
+* a SIGINT mid-sweep drains in-flight cells, journals them, flushes a
+  valid journal and surfaces ``KeyboardInterrupt`` — no zombie workers;
+* ``kill -9`` (no handler can see it) loses at most the in-flight cells;
+* resuming with the same journal replays completed cells (``journal_hits``)
+  and re-runs only the rest, and the final grid is **bit-identical** to an
+  uninterrupted reference run — at workers 1, 2 and 4;
+* journal-replayed, cache-hit and freshly-executed cells are
+  indistinguishable in the results.
+"""
+
+import json
+import multiprocessing
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import (
+    ArtifactCache,
+    ExperimentEngine,
+    ExperimentScale,
+    SchedulerSpec,
+    WorkloadSpec,
+    metrics_to_payload,
+    sweep_jobs,
+)
+from repro.runtime import SweepJournal
+
+TINY = ExperimentScale(name="tiny", num_nodes=8, duration_hours=6.0, seed=13)
+
+
+def small_grid():
+    """A 2x2 grid, ~15ms per cell: fast enough to sweep many times."""
+    specs = [SchedulerSpec(kind="yarn-cs"), SchedulerSpec(kind="fgd")]
+    workloads = [
+        WorkloadSpec(spot_scale=2.0, label="medium"),
+        WorkloadSpec(scenario="burst", spot_scale=1.0, label="burst"),
+    ]
+    return sweep_jobs(TINY, specs, workloads, prefix="grid")
+
+
+def wide_grid():
+    """A 4x2 grid: wide enough that 4 workers can't hold it all in flight,
+    so a drain mid-sweep always leaves un-launched cells behind."""
+    specs = [
+        SchedulerSpec(kind="yarn-cs"),
+        SchedulerSpec(kind="fgd"),
+        SchedulerSpec(kind="chronus"),
+        SchedulerSpec(kind="lyra"),
+    ]
+    workloads = [
+        WorkloadSpec(spot_scale=2.0, label="medium"),
+        WorkloadSpec(scenario="burst", spot_scale=1.0, label="burst"),
+    ]
+    return sweep_jobs(TINY, specs, workloads, prefix="grid")
+
+
+def reference_results(jobs):
+    return {
+        key: metrics_to_payload(m)
+        for key, m in ExperimentEngine(workers=1).run(jobs).items()
+    }
+
+
+def assert_no_zombie_workers():
+    """Every worker process the engine spawned must be reaped."""
+    deadline = time.monotonic() + 5.0
+    while time.monotonic() < deadline:
+        leftover = multiprocessing.active_children()
+        if not leftover:
+            return
+        time.sleep(0.05)
+    assert not multiprocessing.active_children(), (
+        f"worker processes outlived the sweep: {multiprocessing.active_children()}"
+    )
+
+
+class TestGracefulInterrupt:
+    """SIGINT mid-sweep: drain, journal, raise — then resume."""
+
+    def _interrupt_after(self, n):
+        """A progress callback sending SIGINT once ``n`` cells completed."""
+        state = {"count": 0}
+
+        def progress(job, outcome):
+            state["count"] += 1
+            if state["count"] == n:
+                os.kill(os.getpid(), signal.SIGINT)
+
+        return progress
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_interrupt_then_resume_bit_identical(self, tmp_path, workers):
+        jobs = wide_grid()
+        reference = reference_results(jobs)
+        journal_path = tmp_path / "sweep.jsonl"
+
+        first = ExperimentEngine(
+            workers=workers,
+            journal=journal_path,
+            progress=self._interrupt_after(1),
+        )
+        with pytest.raises(KeyboardInterrupt):
+            first.run(jobs)
+        assert_no_zombie_workers()
+
+        # The journal is valid and holds everything that drained; the
+        # partial grid (engine.history) matches it.
+        replay = SweepJournal(journal_path).replay()
+        assert replay.torn_lines == 0
+        drained = len(replay.completed)
+        assert 1 <= drained < len(jobs)
+        assert len(first.history) == drained
+        for job, metrics in first.history:
+            assert metrics_to_payload(metrics) == reference[job.key]
+
+        # Resume: replayed cells come from the journal, the rest run.
+        second = ExperimentEngine(workers=workers, journal=journal_path)
+        resumed = second.run(jobs)
+        assert second.stats.journal_hits == drained
+        assert second.stats.executed == len(jobs) - drained
+        assert {k: metrics_to_payload(m) for k, m in resumed.items()} == reference
+
+    def test_partial_history_flushed_before_interrupt_surfaces(self, tmp_path):
+        # The CLI writes grid artifacts from engine.history after catching
+        # KeyboardInterrupt; history must already hold the drained cells.
+        jobs = small_grid()
+        engine = ExperimentEngine(
+            workers=2, journal=tmp_path / "j.jsonl", progress=self._interrupt_after(2)
+        )
+        with pytest.raises(KeyboardInterrupt):
+            engine.run(jobs)
+        assert len(engine.history) >= 2
+        assert len(engine.grid_rows()) == len(engine.history)
+
+
+class TestResumeSemantics:
+    def test_full_journal_resume_runs_nothing(self, tmp_path):
+        jobs = small_grid()
+        journal_path = tmp_path / "sweep.jsonl"
+        first = ExperimentEngine(workers=2, journal=journal_path)
+        reference = {
+            k: metrics_to_payload(m) for k, m in first.run(jobs).items()
+        }
+        second = ExperimentEngine(workers=2, journal=journal_path)
+        resumed = second.run(jobs)
+        assert second.stats.executed == 0
+        assert second.stats.journal_hits == len(jobs)
+        assert {k: metrics_to_payload(m) for k, m in resumed.items()} == reference
+
+    def test_journal_recognises_renamed_grid(self, tmp_path):
+        # Journal records are keyed by content hash, not display key: the
+        # same semantic cells under a different prefix replay fully.
+        journal_path = tmp_path / "sweep.jsonl"
+        specs = [SchedulerSpec(kind="yarn-cs")]
+        workloads = [WorkloadSpec(spot_scale=2.0, label="medium")]
+        as_a = sweep_jobs(TINY, specs, workloads, prefix="table8")
+        as_b = sweep_jobs(TINY, specs, workloads, prefix="table9")
+        ExperimentEngine(journal=journal_path).run(as_a)
+        engine = ExperimentEngine(journal=journal_path)
+        engine.run(as_b)
+        assert engine.stats.executed == 0
+        assert engine.stats.journal_hits == 1
+
+    def test_torn_tail_cell_reruns_and_journal_heals(self, tmp_path):
+        jobs = small_grid()
+        reference = reference_results(jobs)
+        journal_path = tmp_path / "sweep.jsonl"
+        ExperimentEngine(journal=journal_path).run(jobs)
+
+        # Tear the final line, as a kill -9 mid-append would.
+        lines = journal_path.read_text().splitlines(keepends=True)
+        torn = lines[-1][: len(lines[-1]) // 2]
+        journal_path.write_text("".join(lines[:-1]) + torn)
+
+        engine = ExperimentEngine(journal=journal_path)
+        resumed = engine.run(jobs)
+        assert engine.stats.executed == 1  # only the torn cell re-ran
+        assert engine.stats.journal_hits == len(jobs) - 1
+        assert {k: metrics_to_payload(m) for k, m in resumed.items()} == reference
+        # The re-run appended a fresh done record: a third run replays all.
+        third = ExperimentEngine(journal=journal_path)
+        third.run(jobs)
+        assert third.stats.executed == 0
+
+    def test_journal_and_cache_compose(self, tmp_path):
+        # Cache hits are mirrored into the journal, so a journal resumed
+        # after the cache vanished is still self-contained.
+        jobs = small_grid()
+        reference = reference_results(jobs)
+        cache = ArtifactCache(tmp_path / "cache")
+        ExperimentEngine(cache=cache).run(jobs)
+
+        journal_path = tmp_path / "sweep.jsonl"
+        warm = ExperimentEngine(cache=cache, journal=journal_path)
+        warm.run(jobs)
+        assert warm.stats.cache_hits == len(jobs)
+
+        cache.clear()
+        cold = ExperimentEngine(
+            cache=ArtifactCache(tmp_path / "cache"), journal=journal_path
+        )
+        resumed = cold.run(jobs)
+        assert cold.stats.journal_hits == len(jobs)
+        assert cold.stats.executed == 0
+        assert {k: metrics_to_payload(m) for k, m in resumed.items()} == reference
+
+
+_KILLABLE_DRIVER = """
+import sys, time
+from repro.experiments import (
+    ExperimentEngine, ExperimentScale, SchedulerSpec, WorkloadSpec, sweep_jobs,
+)
+
+TINY = ExperimentScale(name="tiny", num_nodes=8, duration_hours=6.0, seed=13)
+specs = [SchedulerSpec(kind="yarn-cs"), SchedulerSpec(kind="fgd")]
+workloads = [
+    WorkloadSpec(spot_scale=2.0, label="medium"),
+    WorkloadSpec(scenario="burst", spot_scale=1.0, label="burst"),
+]
+jobs = sweep_jobs(TINY, specs, workloads, prefix="grid")
+
+def slow(job, outcome):
+    # Stretch the sweep so the parent can SIGKILL us mid-flight.
+    print("CELL-DONE", flush=True)
+    time.sleep(0.5)
+
+engine = ExperimentEngine(workers=2, journal=sys.argv[1], progress=slow)
+engine.run(jobs)
+print("FINISHED", flush=True)
+"""
+
+
+class TestKillMinusNine:
+    def test_sigkill_mid_sweep_resumes_bit_identically(self, tmp_path):
+        jobs = small_grid()
+        reference = reference_results(jobs)
+        journal_path = tmp_path / "sweep.jsonl"
+
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-c", _KILLABLE_DRIVER, str(journal_path)],
+            stdout=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        try:
+            # Wait for the first completed cell, then SIGKILL — no
+            # handler runs, exactly like the OOM killer.
+            line = proc.stdout.readline()
+            assert "CELL-DONE" in line, f"driver died early: {line!r}"
+            proc.kill()
+            proc.wait(timeout=10)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+        assert proc.returncode == -signal.SIGKILL
+
+        # The fsync'd journal survived with at least that first cell.
+        replay = SweepJournal(journal_path).replay()
+        assert len(replay.completed) >= 1
+        for cache_key, payload in replay.completed.items():
+            assert isinstance(payload, dict) and payload  # lossless metrics
+
+        resumed_engine = ExperimentEngine(workers=2, journal=journal_path)
+        resumed = resumed_engine.run(jobs)
+        assert resumed_engine.stats.journal_hits == len(replay.completed)
+        assert resumed_engine.stats.executed == len(jobs) - len(replay.completed)
+        assert {k: metrics_to_payload(m) for k, m in resumed.items()} == reference
