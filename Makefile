@@ -5,7 +5,7 @@ PYTHON      ?= python
 PYTHONPATH  := src
 export PYTHONPATH
 
-.PHONY: test bench bench-scaling bench-record perf-smoke lint verify sweep trace-smoke chaos-smoke chaos-harness-smoke serve-smoke profile obs-smoke all
+.PHONY: test bench bench-scaling bench-record perf-smoke lint verify sweep trace-smoke chaos-smoke chaos-harness-smoke serve-smoke stream-smoke profile obs-smoke all
 
 # Knobs for `make profile` (self-profiler tier/scheduler).
 PROFILE_TIER      ?= full
@@ -49,6 +49,8 @@ bench-record:
 		$(PYTHON) -m pytest benchmarks/test_bench_service.py -q -s
 	REPRO_BENCH_OBS_TIER=full REPRO_BENCH_RECORD=1 REPRO_BENCH_ENFORCE=1 \
 		$(PYTHON) -m pytest benchmarks/test_bench_obs.py -q -s
+	REPRO_BENCH_STREAM_TIER=full REPRO_BENCH_RECORD=1 REPRO_BENCH_ENFORCE=1 \
+		$(PYTHON) -m pytest benchmarks/test_bench_stream.py -q -s
 
 ## Reduced placement benchmark used by the CI perf gate: fails when the
 ## measured speedup ratio regresses >20% vs the checked-in reference.
@@ -106,6 +108,14 @@ obs-smoke:
 	$(PYTHON) -m repro.experiments.cli trace-viz --scenario node_churn \
 		--nodes 16 --hours 4.0 --trace-out .obs-smoke-trace.json
 	$(PYTHON) -m repro.service.smoke
+
+## Live-telemetry smoke: SSE subscribe + mid-stream disconnect +
+## Last-Event-ID resume against a real server (byte-for-byte lossless
+## vs an uninterrupted witness), the /dashboard page, then a --progress
+## sweep whose JSONL telemetry capture is validated against the
+## documented schema (see docs/observability.md).
+stream-smoke:
+	$(PYTHON) -m repro.service.stream_smoke
 
 ## Service smoke: boot the streaming scheduler server in-process, drive
 ## one full session lifecycle over HTTP (create, stream submissions,

@@ -12,6 +12,8 @@ Usage::
     python -m repro.experiments.cli sweep --scenario default --dynamics spot_reclaim_storm
     python -m repro.experiments.cli sweep --scenario burst --journal sweep.journal
     python -m repro.experiments.cli sweep --scenario burst --resume sweep.journal
+    python -m repro.experiments.cli sweep --scenario burst --progress --telemetry events.jsonl
+    python -m repro.experiments.cli sweep --scenario burst --workers 4 --metrics-port 9464
     python -m repro.experiments.cli scenarios
     python -m repro.experiments.cli trace convert philly.csv philly.json.gz
     python -m repro.experiments.cli serve --port 8151
@@ -33,6 +35,11 @@ re-invoking) skips them after any interruption — Ctrl-C, a crash, even
 bound each cell and ``--tolerate-failures`` turns exhausted cells into
 reported failures instead of a non-zero exit (see
 ``docs/fault_tolerance.md``).
+Sweeps are observable live: ``--progress`` renders a TTY progress bar,
+``--telemetry PATH`` appends structured JSON-lines events (job
+lifecycle, cache/journal hits, rate/ETA, sweep summary) and
+``--metrics-port N`` serves Prometheus aggregates while the run lasts
+(see ``docs/observability.md``).
 The ``trace`` group (``trace convert``/``validate``/``stats``) ingests
 external cluster traces; converted traces replay through any grid
 experiment via ``trace:<path>`` scenario refs.  ``--dynamics <preset>``
@@ -55,6 +62,14 @@ from typing import Callable, Dict, List, Optional
 
 from ..analysis.reporting import format_scheduler_table
 from ..dynamics import dynamics_names, get_dynamics
+from ..obs.logging import new_run_id
+from ..obs.telemetry import (
+    JsonlSink,
+    MetricsServer,
+    PrometheusSink,
+    TelemetryBus,
+    TTYProgressSink,
+)
 from ..workloads import get_scenario, iter_scenarios
 from .ablation import run_table10, run_table8, run_table9
 from .artifacts import ArtifactCache, export_grid_csv, export_grid_json
@@ -336,6 +351,28 @@ def main(argv: List[str] | None = None) -> int:
         "budget (failed cells are reported and absent from exports); "
         "default is to finish the grid, then exit 1",
     )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="live sweep progress on stderr (ANSI bar on a TTY, plain "
+        "throttled lines otherwise) driven by the telemetry bus",
+    )
+    parser.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help="append every structured telemetry event (job lifecycle, "
+        "cache/journal hits, progress, sweep summary) to PATH as JSON "
+        "lines; validate with 'python -m repro.obs.telemetry validate'",
+    )
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve live sweep aggregates in Prometheus exposition format "
+        "on 127.0.0.1:PORT while the run lasts (0 picks a free port)",
+    )
     args = parser.parse_args(argv)
 
     scale = scale_by_name(args.scale)
@@ -358,12 +395,30 @@ def main(argv: List[str] | None = None) -> int:
         strict=not args.tolerate_failures,
     )
     journal = args.resume or args.journal
+
+    telemetry = None
+    metrics_server = None
+    if args.progress or args.telemetry or args.metrics_port is not None:
+        sinks = []
+        if args.progress:
+            sinks.append(TTYProgressSink())
+        if args.telemetry:
+            sinks.append(JsonlSink(args.telemetry))
+        if args.metrics_port is not None:
+            prom = PrometheusSink()
+            sinks.append(prom)
+            metrics_server = MetricsServer(prom, port=args.metrics_port)
+            metrics_server.start()
+            print(f"[metrics: http://127.0.0.1:{metrics_server.port}/metrics]")
+        telemetry = TelemetryBus(run_id=new_run_id("sweep"), sinks=sinks)
+
     engine = ExperimentEngine(
         workers=args.workers,
         cache=cache,
         profile=args.profile,
         guard=guard,
         journal=journal,
+        telemetry=telemetry,
     )
 
     if "all" in args.experiments:
@@ -401,6 +456,10 @@ def main(argv: List[str] | None = None) -> int:
         sweep_failures = err.failures
     finally:
         _ACTIVE_ENGINE = None
+        if telemetry is not None:
+            telemetry.close()
+        if metrics_server is not None:
+            metrics_server.stop()
 
     if engine.stats.total or engine.stats.failed:
         parts = [

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import dataclasses
 import os
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
@@ -42,6 +43,8 @@ from ..cluster import SimulationMetrics, reset_task_counter, run_simulation
 from ..core import GFSConfig, GFSScheduler, make_ablation
 from ..dynamics import DynamicsSpec, get_dynamics
 from ..obs import Recorder
+from ..obs.logging import get_logger
+from ..obs.telemetry import NULL_TELEMETRY
 from ..runtime import (
     ChaosPlan,
     ChaosWorker,
@@ -68,6 +71,8 @@ from .artifacts import (
     metrics_to_payload,
 )
 from .config import ExperimentScale
+
+_LOG = get_logger("repro.experiments")
 
 #: Hashable key/value pairs standing in for a dict in frozen specs.
 OverridePairs = Tuple[Tuple[str, object], ...]
@@ -396,6 +401,11 @@ class ExperimentEngine:
     run, crashes included.  ``chaos`` wraps workers in the self-chaos
     harness (tests/benchmarks only).  ``progress`` is an optional
     ``callback(job, outcome)`` fired as each cell completes or fails.
+    ``telemetry`` is an optional :class:`~repro.obs.TelemetryBus`; the
+    engine emits structured sweep-plane events on it (``sweep_start``,
+    ``cache_hit``/``journal_hit``, per-cell ``progress`` with rate and
+    ETA, ``sweep_end``) and forwards it to the executor for job-level
+    events — see ``docs/observability.md`` for the event schema.
     """
 
     def __init__(
@@ -408,6 +418,7 @@ class ExperimentEngine:
         journal: Union[SweepJournal, str, Path, None] = None,
         chaos: Optional[ChaosPlan] = None,
         progress: Optional[Callable[[SimulationJob, object], None]] = None,
+        telemetry: Optional[object] = None,
     ):
         self.workers = max(1, int(workers))
         self.cache = cache
@@ -420,7 +431,11 @@ class ExperimentEngine:
         )
         self.chaos = chaos
         self.progress = progress
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.stats = EngineStats()
+        self._tele_progress: Dict[str, object] = {
+            "total": 0, "done": 0, "failed": 0, "completed": 0, "start": 0.0,
+        }
         #: every (job, metrics) pair this engine has produced, in run order
         self.history: List[Tuple[SimulationJob, SimulationMetrics]] = []
         #: job key -> ``obs_*`` profile summary (profiled cells only)
@@ -456,6 +471,9 @@ class ExperimentEngine:
             for job in jobs
         ]
 
+        run_started = time.monotonic()
+        self.telemetry.emit("sweep_start", cells=len(jobs), workers=self.workers)
+
         # Replay the journal before anything runs: cells a previous
         # (possibly killed) invocation completed are restored from their
         # journaled payloads, keyed by content hash so they survive grid
@@ -467,17 +485,22 @@ class ExperimentEngine:
         want_keys = self.use_cache or self.journal is not None
         results: Dict[str, SimulationMetrics] = {}
         pending: List[Tuple[SimulationJob, Optional[str]]] = []
+        run_cache_hits = run_journal_hits = 0
         for job in jobs:
             cache_key = content_key(cache_payload(job)) if want_keys else None
             if cache_key is not None and cache_key in replayed:
                 results[job.key] = metrics_from_payload(replayed[cache_key])
                 self.stats.journal_hits += 1
+                run_journal_hits += 1
+                self.telemetry.emit("journal_hit", job=job.key)
                 continue
             if self.use_cache:
                 cached = self.cache.load(cache_key)
                 if cached is not None:
                     results[job.key] = cached
                     self.stats.cache_hits += 1
+                    run_cache_hits += 1
+                    self.telemetry.emit("cache_hit", job=job.key)
                     if self.journal is not None:
                         # Mirror cache hits into the journal so a resume
                         # of this sweep is self-contained even if the
@@ -490,6 +513,16 @@ class ExperimentEngine:
 
         interrupted = False
         run_failures: Dict[str, JobFailure] = {}
+        # Progress accounting for the telemetry ``progress`` events:
+        # cells resolved by replay/cache count as already done; rate and
+        # ETA are computed from cells completed *this* run only.
+        self._tele_progress = {
+            "total": len(jobs),
+            "done": len(jobs) - len(pending),
+            "failed": 0,
+            "completed": 0,
+            "start": time.monotonic(),
+        }
         if pending:
             if self.journal is not None:
                 self.journal.begin_sweep(
@@ -515,6 +548,7 @@ class ExperimentEngine:
                 workers=eff_workers,
                 guard=self.guard,
                 key_of=_job_key,
+                telemetry=self.telemetry,
             )
             try:
                 with GracefulShutdown() as stop:
@@ -542,6 +576,25 @@ class ExperimentEngine:
         ordered = {job.key: results[job.key] for job in jobs if job.key in results}
         self.history.extend(
             (job, ordered[job.key]) for job in jobs if job.key in ordered
+        )
+        self.telemetry.emit(
+            "sweep_end",
+            done=len(ordered),
+            total=len(jobs),
+            failed=len(run_failures),
+            executed=self._tele_progress["completed"] - self._tele_progress["failed"],
+            cache_hits=run_cache_hits,
+            journal_hits=run_journal_hits,
+            wall_s=round(time.monotonic() - run_started, 6),
+        )
+        _LOG.info(
+            "sweep_end",
+            done=len(ordered),
+            total=len(jobs),
+            failed=len(run_failures),
+            cache_hits=run_cache_hits,
+            journal_hits=run_journal_hits,
+            wall_s=round(time.monotonic() - run_started, 3),
         )
         if interrupted:
             # Everything drained is journaled/cached and now in
@@ -581,6 +634,24 @@ class ExperimentEngine:
                 )
             if self.use_cache and cache_key is not None:
                 self.cache.store(cache_key, metrics, payload=cache_payload(job))
+        state = self._tele_progress
+        state["done"] += 1
+        state["completed"] += 1
+        if isinstance(outcome, JobFailure):
+            state["failed"] += 1
+        if self.telemetry.enabled:
+            elapsed = time.monotonic() - state["start"]
+            rate = state["completed"] / elapsed if elapsed > 0 else 0.0
+            remaining = state["total"] - state["done"]
+            eta_s = round(remaining / rate, 3) if rate > 0 else None
+            self.telemetry.emit(
+                "progress",
+                done=state["done"],
+                total=state["total"],
+                failed=state["failed"],
+                rate_per_s=round(rate, 6),
+                eta_s=eta_s,
+            )
         if self.progress is not None:
             self.progress(job, outcome)
 

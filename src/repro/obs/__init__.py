@@ -13,11 +13,17 @@ path — and consumers imported only where used:
   scheduling passes and task lifecycles (``cli trace-viz``).
 * :mod:`repro.obs.profiler` — wall-clock self-profiler reporting the
   per-phase cost breakdown (``cli profile`` / ``make profile``).
+* :mod:`repro.obs.telemetry` — the sweep-plane :class:`TelemetryBus`
+  with JSONL / live-TTY / Prometheus sinks (``cli sweep --progress``).
+* :mod:`repro.obs.logging` — structured JSON-lines logging with
+  run/session/job correlation ids, shared by the engine, the runtime
+  executor and the service.
 
 See ``docs/observability.md`` for the recorder API, the hook-point
 inventory and walkthroughs of every consumer.
 """
 
+from .logging import StructuredLogger, configure_json_logging, get_logger, new_run_id
 from .prometheus import (
     PROMETHEUS_CONTENT_TYPE,
     parse_prometheus_text,
@@ -32,16 +38,38 @@ from .recorder import (
     Recorder,
     TickSample,
 )
+from .telemetry import (
+    NULL_TELEMETRY,
+    JsonlSink,
+    MetricsServer,
+    NullTelemetryBus,
+    PrometheusSink,
+    TelemetryBus,
+    TTYProgressSink,
+    validate_telemetry_line,
+)
 
 __all__ = [
     "NULL_RECORDER",
+    "NULL_TELEMETRY",
     "EventLoopCounters",
     "Histogram",
+    "JsonlSink",
+    "MetricsServer",
     "NullRecorder",
+    "NullTelemetryBus",
     "PassRecord",
     "PROMETHEUS_CONTENT_TYPE",
+    "PrometheusSink",
     "Recorder",
+    "StructuredLogger",
+    "TTYProgressSink",
+    "TelemetryBus",
     "TickSample",
+    "configure_json_logging",
+    "get_logger",
+    "new_run_id",
     "parse_prometheus_text",
     "render_recorder",
+    "validate_telemetry_line",
 ]

@@ -17,6 +17,7 @@ output at ``chrome://tracing`` or https://ui.perfetto.dev.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -53,6 +54,12 @@ def _profile_main(argv: List[str]) -> int:
         default=None,
         help="additionally export the profiled run as Chrome-trace JSON to this path",
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report as JSON on stdout (phase_breakdown rows in "
+        "the BENCH_7.json shape) instead of the text table",
+    )
     args = parser.parse_args(argv)
     report, recorder, sim = run_profile(
         tier=args.tier,
@@ -65,7 +72,10 @@ def _profile_main(argv: List[str]) -> int:
             "spot_scale": args.spot_scale,
         },
     )
-    print(report.format())
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.format())
     if args.check_overhead and report.metrics_identical is False:
         print("ERROR: instrumented metrics diverged from the uninstrumented run", file=sys.stderr)
         return 1

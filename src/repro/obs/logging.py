@@ -1,0 +1,164 @@
+"""Structured JSON-lines logging with run/session/job correlation ids.
+
+Every long-running plane of the system — the experiment engine, the
+resilient executor, the scheduler service — emits operational events
+(retries, quarantines, timeouts, 504s) that previously went to ad-hoc
+``%``-formatted log lines.  This module gives them one discipline:
+
+* each log line is **one JSON object** with a stable vocabulary —
+  ``ts`` (epoch seconds), ``level``, ``event`` (a short machine name
+  like ``http_request`` or ``job_retry``), plus event-specific fields;
+* correlation ids (``run_id``, ``session_id``, ``job_id``) are **bound
+  once** with :meth:`StructuredLogger.bind` and stamped onto every
+  subsequent line, so one ``grep '"run_id": "r-..."'`` reconstructs a
+  sweep and one ``grep session-0007`` reconstructs a session's life;
+* transport stays stdlib :mod:`logging` — handlers, levels, ``caplog``
+  and host-application configuration all keep working, and a logger
+  with no handler stays silent below WARNING exactly as before.
+
+The emitted *message* is the JSON document itself, so pairing the
+logger with a bare ``%(message)s`` formatter (what
+:func:`configure_json_logging` installs) yields clean JSONL on stderr
+or into a file.
+
+Usage::
+
+    from repro.obs.logging import get_logger, new_run_id
+
+    log = get_logger("repro.experiments").bind(run_id=new_run_id())
+    log.info("sweep_start", cells=120, workers=8)
+    log.warning("job_retry", job_id="sweep/burst/GFS", attempt=2)
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import math
+import time
+import uuid
+from typing import Dict, IO, Mapping, Optional
+
+__all__ = [
+    "StructuredLogger",
+    "configure_json_logging",
+    "get_logger",
+    "json_log_line",
+    "new_run_id",
+    "parse_log_line",
+]
+
+
+def new_run_id(prefix: str = "r") -> str:
+    """A fresh correlation id binding every line of one run/sweep/serve."""
+    return f"{prefix}-{uuid.uuid4().hex[:12]}"
+
+
+def _jsonable(value: object) -> object:
+    """Coerce a field value into something ``json.dumps`` accepts."""
+    if value is None or isinstance(value, (str, int, bool)):
+        return value
+    if isinstance(value, float):
+        # NaN/Inf are not JSON; stringify so a line never fails to parse.
+        return value if math.isfinite(value) else repr(value)
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(v) for v in value]
+    return str(value)
+
+
+def json_log_line(level: str, event: str, fields: Mapping[str, object]) -> str:
+    """Render one structured log line (compact, key-sorted JSON)."""
+    payload: Dict[str, object] = {
+        "ts": round(time.time(), 6),
+        "level": level.lower(),
+        "event": event,
+    }
+    for key, value in fields.items():
+        payload[str(key)] = _jsonable(value)
+    return json.dumps(payload, sort_keys=False, separators=(",", ":"))
+
+
+def parse_log_line(line: str) -> Dict[str, object]:
+    """Parse one structured line back into a dict (tests, CI validators)."""
+    record = json.loads(line)
+    if not isinstance(record, dict) or "event" not in record:
+        raise ValueError(f"not a structured log line: {line!r}")
+    return record
+
+
+class StructuredLogger:
+    """A stdlib-logger wrapper emitting JSON-lines with bound fields.
+
+    Instances are cheap and immutable: :meth:`bind` returns a new logger
+    carrying extra correlation fields; the underlying
+    :class:`logging.Logger` (and therefore handlers and levels) is
+    shared.  Level methods mirror stdlib naming.
+    """
+
+    __slots__ = ("_logger", "_fields")
+
+    def __init__(self, logger: logging.Logger, fields: Optional[Mapping[str, object]] = None):
+        self._logger = logger
+        self._fields: Dict[str, object] = dict(fields or {})
+
+    @property
+    def bound_fields(self) -> Dict[str, object]:
+        return dict(self._fields)
+
+    def bind(self, **fields: object) -> "StructuredLogger":
+        """A child logger with ``fields`` stamped onto every line."""
+        merged = dict(self._fields)
+        merged.update(fields)
+        return StructuredLogger(self._logger, merged)
+
+    # ------------------------------------------------------------------
+    def log(self, level: int, event: str, **fields: object) -> None:
+        if not self._logger.isEnabledFor(level):
+            return  # skip JSON rendering entirely when nobody listens
+        merged = dict(self._fields)
+        merged.update(fields)
+        self._logger.log(
+            level, json_log_line(logging.getLevelName(level), event, merged)
+        )
+
+    def debug(self, event: str, **fields: object) -> None:
+        self.log(logging.DEBUG, event, **fields)
+
+    def info(self, event: str, **fields: object) -> None:
+        self.log(logging.INFO, event, **fields)
+
+    def warning(self, event: str, **fields: object) -> None:
+        self.log(logging.WARNING, event, **fields)
+
+    def error(self, event: str, **fields: object) -> None:
+        self.log(logging.ERROR, event, **fields)
+
+
+def get_logger(name: str, **fields: object) -> StructuredLogger:
+    """The structured logger for ``name``, with optional bound fields."""
+    return StructuredLogger(logging.getLogger(name), fields)
+
+
+def configure_json_logging(
+    level_name: Optional[str],
+    logger_name: str = "repro",
+    stream: Optional[IO[str]] = None,
+) -> Optional[logging.Handler]:
+    """Wire ``logger_name`` (and children) to emit raw JSONL at a level.
+
+    ``None`` configures nothing — logging stays at the host
+    application's discretion.  Returns the installed handler so callers
+    (tests) can remove it again.  The formatter is a bare
+    ``%(message)s`` because the message *is* the JSON document.
+    """
+    if not level_name:
+        return None
+    level = getattr(logging, level_name.upper())
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    logger = logging.getLogger(logger_name)
+    logger.setLevel(level)
+    logger.addHandler(handler)
+    return handler

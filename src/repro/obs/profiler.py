@@ -66,6 +66,30 @@ class ProfileReport:
             return None
         return self.wall_time_s / self.baseline_wall_time_s
 
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready report; ``phase_breakdown`` rows match BENCH_7.json."""
+        out: Dict[str, object] = {
+            "label": self.label,
+            "wall_time_s": round(self.wall_time_s, 6),
+            "num_tasks": self.num_tasks,
+            "events": self.events,
+            "passes": self.passes,
+            "phase_breakdown": [
+                {
+                    "phase": phase.name.strip(),
+                    "seconds": round(phase.seconds, 6),
+                    "share": round(phase.share, 4),
+                    "calls": phase.count,
+                }
+                for phase in self.phases
+            ],
+        }
+        if self.baseline_wall_time_s is not None:
+            out["uninstrumented_wall_time_s"] = round(self.baseline_wall_time_s, 6)
+            out["overhead_ratio"] = round(self.overhead_ratio, 4)
+            out["metrics_identical"] = self.metrics_identical
+        return out
+
     def format(self) -> str:
         lines = [
             f"Self-profile: {self.label}",

@@ -248,15 +248,26 @@ class Recorder:
     >>> with rec.span("my.phase"):
     ...     do_work()
 
-    ``pass_record_limit`` bounds the sim channel for long-running
-    service sessions: once the limit is hit, the *oldest* records are
-    dropped (deterministically), while counters and histograms keep
-    aggregating forever.
+    ``pass_record_limit`` / ``tick_sample_limit`` bound the sim channel
+    for long-running service sessions: once a limit is hit, the
+    *oldest* records are dropped (deterministically), while counters
+    and histograms keep aggregating forever.
+
+    ``sim_listener`` is an optional observer of the sim channel: when
+    set, its ``on_pass(record)`` / ``on_tick(sample)`` methods are
+    called with each deterministic record as it lands (after ring
+    trimming).  This is how the service's event stream taps the sim
+    channel without reading any simulator state — the listener receives
+    exactly the pushed values, so attaching one cannot perturb a run.
     """
 
     enabled = True
 
-    def __init__(self, pass_record_limit: Optional[int] = None):
+    def __init__(
+        self,
+        pass_record_limit: Optional[int] = None,
+        tick_sample_limit: Optional[int] = None,
+    ):
         #: (name, label pairs) -> running total
         self.counters: Dict[Tuple[str, LabelPairs], float] = {}
         #: (name, label pairs) -> last value
@@ -268,8 +279,13 @@ class Recorder:
         #: sim channel: deterministic per-tick gauge samples
         self.tick_samples: List[TickSample] = []
         self.pass_record_limit = pass_record_limit
+        self.tick_sample_limit = tick_sample_limit
         #: pass records dropped to honour ``pass_record_limit``
         self.dropped_pass_records = 0
+        #: tick samples dropped to honour ``tick_sample_limit``
+        self.dropped_tick_samples = 0
+        #: optional sim-channel observer (``on_pass`` / ``on_tick``)
+        self.sim_listener: Optional[object] = None
 
     # ------------------------------------------------------------------
     # Primitive instruments
@@ -316,13 +332,24 @@ class Recorder:
         self.count("sim.pass.index_rejects", record.index_rejects)
         self.count("sim.pass.searches", record.searches)
         self.observe("sim.pass_wall_s", wall_seconds)
+        if self.sim_listener is not None:
+            self.sim_listener.on_pass(record)
 
     def sample_tick(self, sample: TickSample) -> None:
         """Gauges sampled at a quota tick (plus the sim-channel record)."""
         self.tick_samples.append(sample)
+        if (
+            self.tick_sample_limit is not None
+            and len(self.tick_samples) > self.tick_sample_limit
+        ):
+            overflow = len(self.tick_samples) - self.tick_sample_limit
+            del self.tick_samples[:overflow]
+            self.dropped_tick_samples += overflow
         self.gauge("sim.pending_depth", sample.pending_depth)
         self.gauge("sim.running_tasks", sample.running_tasks)
         self.gauge("sim.allocation_rate", sample.allocation_rate)
+        if self.sim_listener is not None:
+            self.sim_listener.on_tick(sample)
 
     # ------------------------------------------------------------------
     # Export
@@ -350,4 +377,5 @@ class Recorder:
             "pass_records": len(self.pass_records),
             "dropped_pass_records": self.dropped_pass_records,
             "tick_samples": len(self.tick_samples),
+            "dropped_tick_samples": self.dropped_tick_samples,
         }

@@ -48,11 +48,17 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Deque, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from ..obs.logging import get_logger
+from ..obs.telemetry import NULL_TELEMETRY
 from .guards import JobFailure, JobGuard
 
 #: maximum seconds one supervision-loop wait blocks (keeps the loop
 #: responsive to drain signals and retry timers)
 _POLL_S = 0.25
+
+#: structured JSON-lines log for supervision events (silent unless the
+#: host configures logging; ``repro.obs.logging`` schema)
+_LOG = get_logger("repro.runtime")
 
 
 def _worker_init() -> None:
@@ -115,6 +121,12 @@ class ResilientExecutor:
     function or an instance of a top-level class) and is invoked as
     ``worker(item, attempt)``.  ``key_of`` extracts the stable string
     key failures are reported under (defaults to ``item.key``).
+
+    ``telemetry`` is an optional :class:`~repro.obs.telemetry.TelemetryBus`
+    receiving the supervision events live — ``job_start`` / ``job_done``
+    / ``job_retry`` / ``job_timeout`` / ``job_fail`` / ``pool_rebuild``
+    (schema in ``docs/observability.md``); the default null bus makes
+    every emit a no-op.
     """
 
     def __init__(
@@ -123,11 +135,13 @@ class ResilientExecutor:
         workers: int = 1,
         guard: Optional[JobGuard] = None,
         key_of: Callable[[object], str] = None,
+        telemetry=None,
     ):
         self.worker = worker
         self.workers = max(1, int(workers))
         self.guard = guard or JobGuard()
         self.key_of = key_of or (lambda item: item.key)
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         #: supervision counters (pool rebuilds, retries, timeouts)
         self.pool_rebuilds = 0
         self.retries = 0
@@ -162,6 +176,9 @@ class ResilientExecutor:
                 return
             attempt = 1
             while True:
+                key = self.key_of(item)
+                self.telemetry.emit("job_start", job=key, attempt=attempt)
+                started = time.perf_counter()
                 try:
                     result = self.worker(item, attempt)
                 except KeyboardInterrupt:
@@ -169,12 +186,26 @@ class ResilientExecutor:
                 except Exception as exc:  # noqa: BLE001 - guard converts to JobFailure
                     if self.guard.allows_retry(attempt):
                         self.retries += 1
-                        time.sleep(self.guard.backoff.delay(attempt))
+                        delay = self.guard.backoff.delay(attempt)
+                        self.telemetry.emit(
+                            "job_retry", job=key, attempt=attempt, delay_s=delay
+                        )
+                        time.sleep(delay)
                         attempt += 1
                         continue
-                    yield item, JobFailure.from_exception(self.key_of(item), exc, attempt)
+                    failure = JobFailure.from_exception(key, exc, attempt)
+                    self.telemetry.emit(
+                        "job_fail", job=key, kind=failure.kind, attempts=failure.attempts
+                    )
+                    _LOG.warning("job_fail", job_id=key, kind=failure.kind, attempts=attempt)
+                    yield item, failure
                     break
                 else:
+                    self.telemetry.emit(
+                        "job_done",
+                        job=key,
+                        wall_s=round(time.perf_counter() - started, 6),
+                    )
                     yield item, result
                     break
 
@@ -188,7 +219,8 @@ class ResilientExecutor:
         queue: Deque[Tuple[object, int, float]] = deque(
             (item, 1, 0.0) for item in items
         )
-        inflight: Dict[object, Tuple[object, int, float]] = {}  # future -> (item, attempt, deadline)
+        # future -> (item, attempt, deadline, started_monotonic)
+        inflight: Dict[object, Tuple[object, int, float, float]] = {}
         pool: Optional[ProcessPoolExecutor] = None
         timeout_s = self.guard.timeout_s
         try:
@@ -222,9 +254,13 @@ class ResilientExecutor:
                             _kill_pool(pool)
                             pool = None
                             self.pool_rebuilds += 1
+                            self._note_rebuild()
                             break
                         deadline = now + timeout_s if timeout_s else float("inf")
-                        inflight[future] = (item, attempt, deadline)
+                        inflight[future] = (item, attempt, deadline, time.monotonic())
+                        self.telemetry.emit(
+                            "job_start", job=self.key_of(item), attempt=attempt
+                        )
                     queue.extendleft(reversed(pending_retry))
 
                 if not inflight:
@@ -243,7 +279,7 @@ class ResilientExecutor:
                 pool_broken = False
                 outcomes: List[Tuple[object, object]] = []
                 for future in done:
-                    item, attempt, _ = inflight.pop(future)
+                    item, attempt, _, started = inflight.pop(future)
                     try:
                         result = future.result()
                     except BrokenProcessPool as exc:
@@ -254,13 +290,18 @@ class ResilientExecutor:
                     except Exception as exc:  # noqa: BLE001 - guard converts to JobFailure
                         outcomes.extend(self._requeue_or_fail(queue, item, attempt, exc, "exception"))
                     else:
+                        self.telemetry.emit(
+                            "job_done",
+                            job=self.key_of(item),
+                            wall_s=round(time.monotonic() - started, 6),
+                        )
                         outcomes.append((item, result))
 
                 if pool_broken:
                     # The whole pool is dead: every other in-flight job
                     # failed with it.  Charge them all one attempt (the
                     # guilty one is indistinguishable) and rebuild.
-                    for future, (item, attempt, _) in list(inflight.items()):
+                    for future, (item, attempt, _, _) in list(inflight.items()):
                         exc = BrokenProcessPool("worker process died; pool re-spawned")
                         outcomes.extend(self._requeue_or_fail(queue, item, attempt, exc, "worker-lost"))
                     inflight.clear()
@@ -268,6 +309,7 @@ class ResilientExecutor:
                         _kill_pool(pool)
                         pool = None
                     self.pool_rebuilds += 1
+                    self._note_rebuild()
 
                 # Deadline sweep: a hung worker cannot be interrupted, so
                 # an expired job costs the whole pool — innocents requeue
@@ -276,19 +318,32 @@ class ResilientExecutor:
                 expired = [f for f, entry in inflight.items() if entry[2] <= now]
                 if expired:
                     for future in expired:
-                        item, attempt, _ = inflight.pop(future)
+                        item, attempt, _, _ = inflight.pop(future)
                         self.timeouts += 1
+                        self.telemetry.emit(
+                            "job_timeout",
+                            job=self.key_of(item),
+                            attempt=attempt,
+                            timeout_s=timeout_s,
+                        )
+                        _LOG.warning(
+                            "job_timeout",
+                            job_id=self.key_of(item),
+                            attempt=attempt,
+                            timeout_s=timeout_s,
+                        )
                         exc = TimeoutError(
                             f"job exceeded guard timeout of {timeout_s:.3f}s"
                         )
                         outcomes.extend(self._requeue_or_fail(queue, item, attempt, exc, "timeout"))
-                    for future, (item, attempt, _) in inflight.items():
+                    for future, (item, attempt, _, _) in inflight.items():
                         queue.append((item, attempt, 0.0))
                     inflight.clear()
                     if pool is not None:
                         _kill_pool(pool)
                         pool = None
                     self.pool_rebuilds += 1
+                    self._note_rebuild()
 
                 yield from outcomes
 
@@ -300,6 +355,11 @@ class ResilientExecutor:
             if pool is not None:
                 _kill_pool(pool)
 
+    def _note_rebuild(self) -> None:
+        """Telemetry + log for one pool teardown/re-spawn."""
+        self.telemetry.emit("pool_rebuild", rebuilds=self.pool_rebuilds)
+        _LOG.warning("pool_rebuild", rebuilds=self.pool_rebuilds)
+
     def _requeue_or_fail(
         self,
         queue: Deque,
@@ -309,9 +369,17 @@ class ResilientExecutor:
         kind: str,
     ) -> List[Tuple[object, JobFailure]]:
         """Schedule a retry with backoff, or emit a terminal failure."""
+        key = self.key_of(item)
         if self.guard.allows_retry(attempt):
             self.retries += 1
-            not_before = time.monotonic() + self.guard.backoff.delay(attempt)
+            delay = self.guard.backoff.delay(attempt)
+            self.telemetry.emit("job_retry", job=key, attempt=attempt, delay_s=delay)
+            not_before = time.monotonic() + delay
             queue.append((item, attempt + 1, not_before))
             return []
-        return [(item, JobFailure.from_exception(self.key_of(item), exc, attempt, kind=kind))]
+        failure = JobFailure.from_exception(key, exc, attempt, kind=kind)
+        self.telemetry.emit(
+            "job_fail", job=key, kind=failure.kind, attempts=failure.attempts
+        )
+        _LOG.warning("job_fail", job_id=key, kind=failure.kind, attempts=failure.attempts)
+        return [(item, failure)]

@@ -31,6 +31,7 @@ deadlines, and clients retry safely through ``Idempotency-Key`` headers
 """
 
 from .client import AsyncServiceClient, ServiceClient, ServiceError
+from .dashboard import DASHBOARD_HTML
 from .server import SchedulerServer
 from .session import SimulationSession, task_from_payload, task_to_payload
 from .snapshot import (
@@ -40,20 +41,24 @@ from .snapshot import (
     encode_snapshot,
 )
 from .store import RecoveryReport, SessionStore, StoredSession
+from .stream import SessionStream, parse_sse_stream
 
 __all__ = [
     "AsyncServiceClient",
+    "DASHBOARD_HTML",
     "RecoveryReport",
     "SchedulerServer",
     "ServiceClient",
     "ServiceError",
     "SessionStore",
+    "SessionStream",
     "SimulationSession",
     "SnapshotError",
     "SNAPSHOT_VERSION",
     "StoredSession",
     "decode_snapshot",
     "encode_snapshot",
+    "parse_sse_stream",
     "task_from_payload",
     "task_to_payload",
 ]

@@ -4,40 +4,33 @@ Reached through the main experiments CLI (``python -m repro.experiments.cli
 serve``) or directly as ``python -m repro.service.cli``.  The server runs
 until interrupted or until a client posts ``/shutdown``.
 
-``--log-level info`` turns on the structured access log (one line per
-request: method, path, status, duration ms, session id) on the
-``repro.service`` logger; the default leaves logging unconfigured, so
-the server stays silent exactly as before.
+``--log-level info`` turns on the structured JSON-lines log (one JSON
+object per request/operation, with run/session correlation ids — schema
+in ``docs/observability.md``) on the ``repro.service`` logger; the
+default leaves logging unconfigured, so the server stays silent exactly
+as before.
 """
 
 from __future__ import annotations
 
 import argparse
 import asyncio
-import logging
 from typing import List, Optional
 
+from ..obs.logging import configure_json_logging
 from .server import serve
 
 _LOG_LEVELS = ("critical", "error", "warning", "info", "debug")
 
 
 def configure_logging(level_name: Optional[str]) -> None:
-    """Wire the ``repro.service`` access log to stderr at ``level_name``.
+    """Wire the ``repro.service`` structured log to stderr at ``level_name``.
 
     ``None`` (flag omitted) configures nothing — logging stays at the
     host application's discretion and the server is silent by default.
+    The emitted lines are raw JSON documents (``repro.obs.logging``).
     """
-    if not level_name:
-        return
-    level = getattr(logging, level_name.upper())
-    handler = logging.StreamHandler()
-    handler.setFormatter(
-        logging.Formatter("%(asctime)s %(levelname)s %(name)s %(message)s")
-    )
-    logger = logging.getLogger("repro.service")
-    logger.setLevel(level)
-    logger.addHandler(handler)
+    configure_json_logging(level_name, "repro.service")
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -37,6 +37,7 @@ import uuid
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from .snapshot import snapshot_from_text, snapshot_to_text
+from .stream import parse_sse_stream
 
 #: transport-level delivery attempts per request (1 original + retries)
 DEFAULT_RETRIES = 2
@@ -236,6 +237,62 @@ class ServiceClient:
         )
 
 
+class SSESubscription:
+    """One live ``GET /sessions/{id}/stream`` connection (SSE).
+
+    Returned by :meth:`AsyncServiceClient.open_stream`; each
+    subscription owns a dedicated connection (the stream never yields
+    the socket back to request/response framing).  :meth:`read_frame`
+    returns raw frames — heartbeat comments included — and appends
+    every byte to :attr:`raw`, which is what the byte-identity tests in
+    ``tests/test_stream.py`` compare; :meth:`read_event` skips
+    heartbeats and hands back parsed ``{id, event, data}`` dicts.
+    """
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+        self._buffer = b""
+        #: every stream byte received, in order (frames + heartbeats)
+        self.raw = bytearray()
+        #: last event id seen (feed to ``open_stream`` to resume)
+        self.last_event_id: Optional[int] = None
+
+    async def read_frame(self, timeout: Optional[float] = None) -> Optional[str]:
+        """The next raw SSE frame (ending ``\\n\\n``), or ``None`` on EOF."""
+        while b"\n\n" not in self._buffer:
+            read = self._reader.read(4096)
+            chunk = await (asyncio.wait_for(read, timeout) if timeout is not None else read)
+            if not chunk:
+                return None
+            self._buffer += chunk
+        frame, _, self._buffer = self._buffer.partition(b"\n\n")
+        frame += b"\n\n"
+        self.raw += frame
+        return frame.decode("utf-8")
+
+    async def read_event(self, timeout: Optional[float] = None) -> Optional[Dict[str, Optional[str]]]:
+        """The next parsed event (heartbeat comments skipped); ``None`` on EOF."""
+        while True:
+            frame = await self.read_frame(timeout)
+            if frame is None:
+                return None
+            events = parse_sse_stream(frame)
+            if not events:
+                continue  # heartbeat / comment frame
+            event = events[0]
+            if event["id"] is not None:
+                self.last_event_id = int(event["id"])
+            return event
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
 class AsyncServiceClient:
     """Asyncio client over one persistent keep-alive connection.
 
@@ -408,6 +465,52 @@ class AsyncServiceClient:
     async def metrics_text(self) -> str:
         """Scrape the server-wide Prometheus exposition page (``GET /metrics``)."""
         return (await self._request_bytes("GET", "/metrics")).decode("utf-8")
+
+    async def open_stream(
+        self, session_id: str, last_event_id: Optional[int] = None
+    ) -> SSESubscription:
+        """Subscribe to the session's live SSE event stream.
+
+        Opens a *dedicated* connection (independent of this client's
+        keep-alive one, so requests and streaming never interleave).
+        Pass the previous subscription's ``last_event_id`` to resume
+        losslessly within the server's backlog window.
+        """
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        head = (
+            f"GET /sessions/{session_id}/stream HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Accept: text/event-stream\r\n"
+        )
+        if last_event_id is not None:
+            head += f"Last-Event-ID: {int(last_event_id)}\r\n"
+        head += "Connection: close\r\n\r\n"
+        writer.write(head.encode("latin-1"))
+        await writer.drain()
+        status_line = await reader.readline()
+        if not status_line:
+            raise ConnectionError("connection closed before the stream opened")
+        status = int(status_line.split()[1])
+        length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+        if status != 200:
+            data = await reader.readexactly(length) if length else b""
+            writer.close()
+            try:
+                decoded = json.loads(data) if data else {}
+            except ValueError:
+                decoded = {}
+            raise ServiceError(status, decoded.get("error", data.decode("utf-8", "replace")))
+        sub = SSESubscription(reader, writer)
+        if last_event_id is not None:
+            sub.last_event_id = int(last_event_id)
+        return sub
 
     async def snapshot(self, session_id: str) -> bytes:
         text = (await self._post(f"/sessions/{session_id}/snapshot"))["snapshot"]

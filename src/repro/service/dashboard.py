@@ -1,0 +1,268 @@
+"""The self-contained live dashboard served at ``GET /dashboard``.
+
+One HTML file, zero external assets (no CDN fonts, no JS frameworks):
+everything a browser needs is inlined below, so the dashboard works on
+an air-gapped host exactly as well as anywhere else.  It drives the
+same public API every other client uses —
+
+* ``GET /sessions`` to populate the session picker,
+* ``GET /sessions/{id}/occupancy`` + ``/quota`` polled at a fixed
+  cadence for fleet occupancy, pending/running and per-org headroom,
+* ``EventSource('/sessions/{id}/stream')`` for the live feed: tick
+  samples animate the gauges between polls, pass records accumulate
+  into the scheduling-pass stats, ``gap`` events surface drop
+  accounting instead of silently skipping.
+
+Keeping it a Python string (rather than a static file) means the
+service stays a single importable package with no data-file packaging
+concerns, and tests can assert on the markup directly.
+"""
+
+from __future__ import annotations
+
+DASHBOARD_HTML = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>repro scheduler — live dashboard</title>
+<style>
+  :root { --bg:#101418; --panel:#1a2027; --ink:#d8dee6; --dim:#7b8794;
+          --accent:#4cc38a; --warn:#e5a54b; --bad:#e05d5d; --line:#2a323c; }
+  * { box-sizing:border-box; }
+  body { margin:0; background:var(--bg); color:var(--ink);
+         font:14px/1.45 ui-monospace,SFMono-Regular,Menlo,Consolas,monospace; }
+  header { display:flex; gap:1rem; align-items:baseline; padding:.8rem 1.2rem;
+           border-bottom:1px solid var(--line); flex-wrap:wrap; }
+  header h1 { font-size:1.05rem; margin:0; font-weight:600; }
+  header .dim { color:var(--dim); }
+  select { background:var(--panel); color:var(--ink); border:1px solid var(--line);
+           padding:.25rem .5rem; border-radius:4px; font:inherit; }
+  main { display:grid; grid-template-columns:repeat(auto-fit,minmax(340px,1fr));
+         gap:1rem; padding:1rem 1.2rem; }
+  section { background:var(--panel); border:1px solid var(--line);
+            border-radius:8px; padding:.9rem 1rem; }
+  section h2 { margin:0 0 .6rem; font-size:.8rem; letter-spacing:.08em;
+               text-transform:uppercase; color:var(--dim); font-weight:600; }
+  .kv { display:grid; grid-template-columns:auto 1fr; gap:.15rem .8rem; }
+  .kv b { font-weight:600; color:var(--accent); text-align:right; }
+  .kv span { color:var(--dim); }
+  .bar { height:10px; background:var(--line); border-radius:5px; overflow:hidden;
+         margin:.4rem 0 .2rem; }
+  .bar i { display:block; height:100%; background:var(--accent); width:0; }
+  table { width:100%; border-collapse:collapse; font-size:.85rem; }
+  th,td { text-align:right; padding:.15rem .4rem; border-bottom:1px solid var(--line); }
+  th:first-child,td:first-child { text-align:left; }
+  th { color:var(--dim); font-weight:600; }
+  #feed { list-style:none; margin:0; padding:0; max-height:300px; overflow-y:auto;
+          font-size:.8rem; }
+  #feed li { padding:.1rem 0; border-bottom:1px dotted var(--line); white-space:nowrap;
+             overflow:hidden; text-overflow:ellipsis; }
+  #feed .ev-pass { color:var(--accent); }
+  #feed .ev-tick { color:var(--dim); }
+  #feed .ev-submit { color:#6cb2e0; }
+  #feed .ev-inject { color:var(--warn); }
+  #feed .ev-gap, #feed .ev-error { color:var(--bad); }
+  #link { color:var(--dim); }
+  .ok { color:var(--accent); } .warn { color:var(--warn); } .bad { color:var(--bad); }
+</style>
+</head>
+<body>
+<header>
+  <h1>repro scheduler</h1>
+  <label>session <select id="session"></select></label>
+  <span class="dim">t=<b id="simnow">–</b>s</span>
+  <span id="link" class="dim">stream: <b id="streamstate">idle</b></span>
+</header>
+<main>
+  <section>
+    <h2>Occupancy</h2>
+    <div class="bar"><i id="occbar"></i></div>
+    <div class="kv">
+      <b id="alloc">–</b><span>allocation rate</span>
+      <b id="gpus">–</b><span>GPUs busy / total</span>
+      <b id="hp">–</b><span>HP GPUs</span>
+      <b id="spot">–</b><span>spot GPUs</span>
+    </div>
+  </section>
+  <section>
+    <h2>Workload</h2>
+    <div class="kv">
+      <b id="pending">–</b><span>pending tasks</span>
+      <b id="running">–</b><span>running tasks</span>
+      <b id="runhp">–</b><span>running HP</span>
+      <b id="runspot">–</b><span>running spot</span>
+    </div>
+  </section>
+  <section>
+    <h2>Scheduling passes <span class="dim" id="passcount"></span></h2>
+    <div class="kv">
+      <b id="p-examined">0</b><span>tasks examined</span>
+      <b id="p-scheduled">0</b><span>tasks placed</span>
+      <b id="p-memo">0</b><span>memo hits</span>
+      <b id="p-index">0</b><span>index rejects</span>
+      <b id="p-searches">0</b><span>searches run</span>
+    </div>
+  </section>
+  <section>
+    <h2>Per-org quota headroom</h2>
+    <table id="quota"><thead><tr>
+      <th>org</th><th>HP running</th><th>HP queued</th><th>quota</th><th>headroom</th>
+    </tr></thead><tbody></tbody></table>
+  </section>
+  <section style="grid-column:1/-1">
+    <h2>Live events <span class="dim" id="dropnote"></span></h2>
+    <ul id="feed"></ul>
+  </section>
+</main>
+<script>
+"use strict";
+const $ = id => document.getElementById(id);
+const fmt = x => (typeof x === "number" && isFinite(x))
+  ? (Number.isInteger(x) ? x : x.toFixed(2)) : "–";
+let sessionId = null, source = null, passTotals = null, dropped = 0;
+
+function resetPassTotals() {
+  passTotals = {count:0, examined:0, scheduled:0, memo_hits:0, index_rejects:0, searches:0};
+}
+resetPassTotals();
+
+async function getJSON(path) {
+  const resp = await fetch(path);
+  if (!resp.ok) throw new Error(path + " -> " + resp.status);
+  return resp.json();
+}
+
+function feed(kind, text) {
+  const li = document.createElement("li");
+  li.className = "ev-" + kind;
+  li.textContent = text;
+  const ul = $("feed");
+  ul.insertBefore(li, ul.firstChild);
+  while (ul.children.length > 200) ul.removeChild(ul.lastChild);
+}
+
+function renderPasses() {
+  $("passcount").textContent = passTotals.count ? "(" + passTotals.count + ")" : "";
+  $("p-examined").textContent = passTotals.examined;
+  $("p-scheduled").textContent = passTotals.scheduled;
+  $("p-memo").textContent = passTotals.memo_hits;
+  $("p-index").textContent = passTotals.index_rejects;
+  $("p-searches").textContent = passTotals.searches;
+}
+
+function onEvent(type, data) {
+  if (type === "tick") {
+    $("simnow").textContent = fmt(data.t);
+    $("pending").textContent = fmt(data.pending);
+    $("running").textContent = fmt(data.running);
+    $("alloc").textContent = (100 * data.alloc).toFixed(1) + "%";
+    $("occbar").style.width = Math.min(100, 100 * data.alloc) + "%";
+    feed("tick", "tick t=" + fmt(data.t) + " pending=" + data.pending +
+         " running=" + data.running + " alloc=" + (100 * data.alloc).toFixed(1) + "%");
+  } else if (type === "pass") {
+    passTotals.count += 1;
+    for (const k of ["examined","scheduled","memo_hits","index_rejects","searches"])
+      passTotals[k] += data[k] || 0;
+    renderPasses();
+    $("simnow").textContent = fmt(data.t);
+    feed("pass", "pass t=" + fmt(data.t) + " [" + data.trigger + "] examined=" +
+         data.examined + " placed=" + data.scheduled + " pending=" + data.pending);
+  } else if (type === "submit") {
+    feed("submit", "submit t=" + fmt(data.t) + " count=" + data.count);
+  } else if (type === "inject") {
+    feed("inject", "inject t=" + fmt(data.t) + " " + data.kind + " node=" + data.node);
+  } else if (type === "restore") {
+    resetPassTotals(); renderPasses();
+    feed("inject", "state restored at t=" + fmt(data.t));
+  } else if (type === "gap") {
+    dropped += data.missed;
+    $("dropnote").textContent = "(" + dropped + " events dropped)";
+    feed("gap", "GAP: " + data.missed + " events dropped (slow subscriber)");
+  }
+}
+
+function connectStream() {
+  if (source) { source.close(); source = null; }
+  if (!sessionId) return;
+  source = new EventSource("/sessions/" + sessionId + "/stream");
+  for (const type of ["pass","tick","submit","inject","restore","gap"])
+    source.addEventListener(type, e => onEvent(type, JSON.parse(e.data)));
+  source.onopen = () => { $("streamstate").textContent = "live";
+                          $("streamstate").className = "ok"; };
+  // EventSource auto-reconnects with Last-Event-ID: resume is lossless
+  // within the server's backlog window.
+  source.onerror = () => { $("streamstate").textContent = "reconnecting";
+                           $("streamstate").className = "warn"; };
+}
+
+async function poll() {
+  if (!sessionId) return;
+  try {
+    const occ = await getJSON("/sessions/" + sessionId + "/occupancy");
+    $("simnow").textContent = fmt(occ.now);
+    const busy = occ.total_gpus - occ.idle_gpus;
+    $("gpus").textContent = fmt(busy) + " / " + fmt(occ.total_gpus);
+    $("alloc").textContent = (100 * occ.allocation_rate).toFixed(1) + "%";
+    $("occbar").style.width = Math.min(100, 100 * occ.allocation_rate) + "%";
+    $("hp").textContent = fmt(occ.hp_gpus);
+    $("spot").textContent = fmt(occ.spot_gpus);
+    $("pending").textContent = fmt(occ.pending_tasks);
+    $("running").textContent = fmt(occ.running_hp_tasks + occ.running_spot_tasks);
+    $("runhp").textContent = fmt(occ.running_hp_tasks);
+    $("runspot").textContent = fmt(occ.running_spot_tasks);
+    const quota = await getJSON("/sessions/" + sessionId + "/quota");
+    const tbody = $("quota").querySelector("tbody");
+    tbody.innerHTML = "";
+    for (const [org, q] of Object.entries(quota.orgs || {})) {
+      const tr = document.createElement("tr");
+      const headroom = q.headroom === undefined ? "–" : fmt(q.headroom);
+      tr.innerHTML = "<td>" + org + "</td><td>" + fmt(q.hp_gpus_running) +
+        "</td><td>" + fmt(q.hp_gpus_queued) + "</td><td>" +
+        (q.quota === undefined ? "–" : fmt(q.quota)) + "</td><td>" + headroom + "</td>";
+      tbody.appendChild(tr);
+    }
+  } catch (err) {
+    feed("error", "poll failed: " + err.message);
+  }
+}
+
+async function refreshSessions() {
+  try {
+    const data = await getJSON("/sessions");
+    const sel = $("session");
+    const current = sel.value;
+    sel.innerHTML = "";
+    for (const s of data.sessions) {
+      const opt = document.createElement("option");
+      opt.value = s.session_id;
+      opt.textContent = s.session_id + " (" + s.scheduler + "/" + s.scenario + ")";
+      sel.appendChild(opt);
+    }
+    if (data.sessions.length === 0) {
+      $("streamstate").textContent = "no sessions"; $("streamstate").className = "warn";
+      sessionId = null; return;
+    }
+    sel.value = data.sessions.some(s => s.session_id === current)
+      ? current : data.sessions[0].session_id;
+    if (sel.value !== sessionId) {
+      sessionId = sel.value; resetPassTotals(); renderPasses();
+      dropped = 0; $("dropnote").textContent = "";
+      connectStream(); poll();
+    }
+  } catch (err) {
+    feed("error", "session list failed: " + err.message);
+  }
+}
+
+$("session").addEventListener("change", ev => {
+  sessionId = ev.target.value; resetPassTotals(); renderPasses();
+  dropped = 0; $("dropnote").textContent = "";
+  connectStream(); poll();
+});
+refreshSessions();
+setInterval(refreshSessions, 10000);
+setInterval(poll, 2000);
+</script>
+</body>
+</html>
+"""

@@ -57,8 +57,10 @@ Routes (all JSON; see ``docs/service.md`` for request/response bodies)::
     GET    /sessions/{id}/quota          per-org quota headroom
     GET    /sessions/{id}/metrics        full metrics of the run so far
     GET    /sessions/{id}/stats          live recorder stats (passes, counters)
+    GET    /sessions/{id}/stream         live SSE event stream (docs/observability.md)
     POST   /sessions/{id}/snapshot       export a versioned snapshot
     POST   /sessions/{id}/restore        replace state from a snapshot
+    GET    /dashboard                    self-contained live HTML dashboard
     POST   /shutdown                     stop the server
 """
 
@@ -66,16 +68,18 @@ from __future__ import annotations
 
 import asyncio
 import json
-import logging
 import time
 from collections import OrderedDict
 from pathlib import Path
 from typing import Dict, Mapping, Optional, Tuple
 
 from ..obs import PROMETHEUS_CONTENT_TYPE, Recorder, render_recorder
+from ..obs.logging import get_logger, new_run_id
+from .dashboard import DASHBOARD_HTML
 from .session import SessionError, SimulationSession, advance_session_counter
 from .snapshot import SnapshotError, snapshot_from_text, snapshot_to_text
 from .store import RecoveryReport, SessionStore
+from .stream import HEARTBEAT_FRAME, SessionStream, gap_frame
 
 #: requests larger than this are rejected outright (snapshots dominate;
 #: a FULL-scale mid-run snapshot compresses to a few MB)
@@ -88,9 +92,13 @@ IDEMPOTENCY_CACHE_SIZE = 1024
 #: session verbs whose handlers mutate simulator state (persisted after)
 _MUTATING_VERBS = frozenset({"advance", "submit", "inject", "restore"})
 
-#: Structured access log (one line per request); silent unless the host
-#: configures logging — ``cli serve --log-level info`` does.
-_ACCESS_LOG = logging.getLogger("repro.service")
+#: seconds between SSE keep-alive comments on an otherwise idle stream
+STREAM_HEARTBEAT_S = 15.0
+
+#: Structured JSON-lines log (``repro.obs.logging`` schema, one object
+#: per line); silent unless the host configures logging — ``cli serve
+#: --log-level info`` does.  Server instances bind a ``run_id``.
+_LOG = get_logger("repro.service")
 
 
 class TextResponse:
@@ -101,6 +109,20 @@ class TextResponse:
     def __init__(self, text: str, content_type: str = "text/plain; charset=utf-8"):
         self.text = text
         self.content_type = content_type
+
+
+class StreamHandle:
+    """Sentinel payload: switch this connection to SSE streaming mode.
+
+    Returned by the ``GET /sessions/{id}/stream`` route; the connection
+    handler detects it and hands the socket to ``_serve_stream`` instead
+    of the Content-Length response writer.
+    """
+
+    __slots__ = ("stream",)
+
+    def __init__(self, stream: SessionStream):
+        self.stream = stream
 
 
 class _HttpError(Exception):
@@ -135,6 +157,11 @@ class SchedulerServer:
         self._shutdown = asyncio.Event()
         self.host: str = ""
         self.port: int = 0
+        #: correlation id stamped on every structured log line of this server
+        self.run_id = new_run_id("svc")
+        self._log = _LOG.bind(run_id=self.run_id)
+        #: seconds between keep-alive comments on idle SSE streams
+        self.stream_heartbeat_s = STREAM_HEARTBEAT_S
         #: server-level instruments: request counts and latencies
         self.recorder = Recorder()
         #: durable session store (None = in-memory-only service, as before)
@@ -208,8 +235,8 @@ class SchedulerServer:
                     stored.snapshot,
                 )
             except Exception as exc:  # noqa: BLE001 - quarantine, don't crash the boot
-                _ACCESS_LOG.warning(
-                    "quarantining unrecoverable session %s: %s", stored.session_id, exc
+                self._log.warning(
+                    "session_quarantined", session_id=stored.session_id, error=str(exc)
                 )
                 self.store.quarantine(self.store._path(stored.session_id))
                 report.recovered.remove(stored)
@@ -242,7 +269,9 @@ class SchedulerServer:
                 try:
                     await self._run(lock, lambda s=session: self._persist(s))
                 except Exception as exc:  # noqa: BLE001 - a failed flush must not kill the loop
-                    _ACCESS_LOG.warning("periodic persist of %s failed: %s", session_id, exc)
+                    self._log.warning(
+                        "persist_failed", session_id=session_id, error=str(exc)
+                    )
 
     # ------------------------------------------------------------------
     # HTTP plumbing
@@ -265,6 +294,13 @@ class SchedulerServer:
                 method, path, body, keep_alive, headers = request
                 started = time.perf_counter()
                 status, payload = await self._dispatch(method, path, body, headers)
+                if isinstance(payload, StreamHandle):
+                    # The connection becomes a dedicated SSE channel; it
+                    # never returns to request/response framing.
+                    await self._serve_stream(writer, payload.stream, headers)
+                    duration_ms = (time.perf_counter() - started) * 1000.0
+                    self._observe_request(method, path, status, duration_ms)
+                    break
                 duration_ms = (time.perf_counter() - started) * 1000.0
                 self._observe_request(method, path, status, duration_ms)
                 await self._write_response(writer, status, payload, keep_alive)
@@ -286,13 +322,17 @@ class SchedulerServer:
 
     def _observe_request(self, method: str, path: str, status: int, duration_ms: float) -> None:
         """Structured access log line + server-level request instruments."""
-        session_id = "-"
+        session_id = None
         clean = path.split("?", 1)[0]
         if clean.startswith("/sessions/"):
-            session_id = clean[len("/sessions/"):].split("/", 1)[0] or "-"
-        _ACCESS_LOG.info(
-            "method=%s path=%s status=%d duration_ms=%.2f session=%s",
-            method, clean, status, duration_ms, session_id,
+            session_id = clean[len("/sessions/"):].split("/", 1)[0] or None
+        self._log.info(
+            "http_request",
+            method=method,
+            path=clean,
+            status=status,
+            duration_ms=round(duration_ms, 2),
+            session_id=session_id,
         )
         self.recorder.count(
             "http.requests", 1.0, {"method": method, "status": str(status)}
@@ -430,6 +470,8 @@ class SchedulerServer:
             return 200, payload
         if path == "/metrics" and method == "GET":
             return await self._metrics_page()
+        if path == "/dashboard" and method == "GET":
+            return 200, TextResponse(DASHBOARD_HTML, "text/html; charset=utf-8")
         if path == "/shutdown" and method == "POST":
             self._shutdown.set()
             return 200, {"status": "shutting down"}
@@ -520,6 +562,18 @@ class SchedulerServer:
                 return 200, {"deleted": session_id}
             raise _HttpError(405, f"{method} not allowed on session root")
 
+        if verb == "stream":
+            if method != "GET":
+                raise _HttpError(405, "stream only supports GET")
+            if session.stream is None:
+                raise _HttpError(
+                    409, f"streaming is disabled for session {session_id!r} (stream_backlog=0)"
+                )
+            # No session lock and no executor hop: subscribing is a
+            # cursor registration, and delivery happens on the loop while
+            # session operations emit from worker threads.
+            return 200, StreamHandle(session.stream)
+
         payload = self._json_body(body) if method == "POST" else {}
         routes = {
             ("POST", "advance"): lambda: session.advance(
@@ -555,6 +609,54 @@ class SchedulerServer:
 
             return 200, await self._run(lock, apply_and_persist)
         return 200, await self._run(lock, handler)
+
+    async def _serve_stream(
+        self,
+        writer: asyncio.StreamWriter,
+        stream: SessionStream,
+        headers: Mapping[str, str],
+    ) -> None:
+        """Pump one SSE subscription until the client or server goes away.
+
+        The connection is dedicated: headers go out without a
+        ``Content-Length`` (the stream has no end), frames are written
+        as the ring produces them, idle periods are bridged with comment
+        heartbeats, and a cursor that fell off the ring is told so with
+        an explicit ``gap`` event before delivery resumes.  Emitters are
+        never throttled by this loop — a slow socket only grows its own
+        subscriber's gap count.
+        """
+        last_id = str(headers.get("last-event-id", "")).strip()
+        try:
+            after_seq = int(last_id) if last_id else 0
+        except ValueError:
+            after_seq = 0  # unparseable resume point: start at the live edge
+        subscriber = stream.subscribe(after_seq)
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: text/event-stream\r\n"
+            "Cache-Control: no-cache\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("latin-1"))
+        try:
+            await writer.drain()
+            while not self._shutdown.is_set():
+                frames, missed = subscriber.poll()
+                if not frames and not missed:
+                    await subscriber.wait(self.stream_heartbeat_s)
+                    frames, missed = subscriber.poll()
+                chunks = []
+                if missed:
+                    chunks.append(gap_frame(missed))
+                chunks.extend(frames)
+                if not chunks:
+                    chunks.append(HEARTBEAT_FRAME)  # idle keep-alive
+                writer.write("".join(chunks).encode("utf-8"))
+                await writer.drain()
+        finally:
+            subscriber.close()
 
     @staticmethod
     async def _run(lock: asyncio.Lock, fn):

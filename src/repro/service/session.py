@@ -28,10 +28,17 @@ from ..dynamics import FaultInjector, get_dynamics
 from ..experiments.engine import SchedulerSpec, build_scheduler
 from ..obs import Recorder, render_recorder
 from ..workloads.scenarios import get_scenario
+from .stream import SessionStream
 
-#: sim-channel pass records kept per session before the oldest drop —
-#: bounds live-session memory; counters/histograms aggregate forever
+#: sim-channel records (pass records *and* tick samples) kept per
+#: session before the oldest drop — bounds live-session memory;
+#: counters/histograms aggregate forever.  Overridable per session via
+#: the ``pass_record_limit`` create parameter.
 PASS_RECORD_LIMIT = 4096
+
+#: event-stream ring size (and the lossless ``Last-Event-ID`` resume
+#: window) per session; ``stream_backlog=0`` disables streaming
+STREAM_BACKLOG = 4096
 
 #: session-creation parameters the service accepts, with their defaults —
 #: anything else in a create request is rejected as a typo guard
@@ -48,6 +55,8 @@ SESSION_DEFAULTS: Dict[str, object] = {
     "tick_interval": 300.0,
     "max_time": None,
     "preload": False,
+    "pass_record_limit": PASS_RECORD_LIMIT,
+    "stream_backlog": STREAM_BACKLOG,
 }
 
 _session_counter = itertools.count(1)
@@ -155,6 +164,13 @@ class SimulationSession:
             gpus_per_node = int(merged["gpus_per_node"])
             duration_hours = float(merged["duration_hours"])
             spot_scale = float(merged["spot_scale"])
+            record_limit = merged["pass_record_limit"]
+            record_limit = None if record_limit in (None, 0) else int(record_limit)
+            if record_limit is not None and record_limit < 1:
+                raise ValueError("pass_record_limit must be >= 1 (or 0/null for unbounded)")
+            stream_backlog = int(merged["stream_backlog"])
+            if stream_backlog < 0:
+                raise ValueError("stream_backlog must be >= 0 (0 disables streaming)")
         except (KeyError, ValueError) as exc:
             raise SessionError(f"invalid session parameters: {exc}") from exc
 
@@ -175,7 +191,16 @@ class SimulationSession:
             tick_interval=float(merged["tick_interval"]),
             max_time=float(max_time) if max_time is not None else None,
         )
-        self.recorder = Recorder(pass_record_limit=PASS_RECORD_LIMIT)
+        self.recorder = Recorder(
+            pass_record_limit=record_limit, tick_sample_limit=record_limit
+        )
+        #: live SSE event channel (``None`` when ``stream_backlog=0``);
+        #: taps the recorder's deterministic sim channel, so attaching it
+        #: cannot perturb the run (zero-observer-effect, tests/test_stream.py)
+        self.stream: Optional[SessionStream] = None
+        if stream_backlog > 0:
+            self.stream = SessionStream(self.session_id, backlog=stream_backlog)
+            self.recorder.sim_listener = self.stream
         self.sim = ClusterSimulator(
             cluster, scheduler, config, dynamics=dynamics, recorder=self.recorder
         )
@@ -233,6 +258,8 @@ class SimulationSession:
             raise SessionError(f"task ids already submitted: {', '.join(clash[:5])}")
         for task in tasks:
             self.sim.submit(task)
+        if self.stream is not None:
+            self.stream.emit("submit", {"t": self.sim.now, "count": len(tasks)})
         return {"accepted": [t.task_id for t in tasks], "now": self.sim.now}
 
     def inject(self, payload: Mapping[str, object]) -> Dict[str, object]:
@@ -246,6 +273,10 @@ class SimulationSession:
             )
         time = payload.get("time")
         self.sim.inject(action, time=float(time) if time is not None else None, kind=kind)
+        if self.stream is not None:
+            self.stream.emit(
+                "inject", {"t": self.sim.now, "node": action.node_id, "kind": kind.name}
+            )
         return {"injected": action.node_id, "kind": kind.name, "now": self.sim.now}
 
     # ------------------------------------------------------------------
@@ -332,6 +363,7 @@ class SimulationSession:
         self.sync_gauges()
         result = self.status()
         result["recorder"] = self.recorder.snapshot()
+        result["stream"] = self.stream.stats() if self.stream is not None else None
         return result
 
     def prometheus_section(self, emit_type_lines: bool = False) -> str:
@@ -445,6 +477,8 @@ class SimulationSession:
         # Snapshots restore with the no-op recorder (instrumentation is
         # host-local, not simulation state); reattach this session's.
         self.sim.obs = self.recorder
+        if self.stream is not None:
+            self.stream.emit("restore", {"t": self.sim.now})
         return self.status()
 
 

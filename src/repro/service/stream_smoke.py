@@ -1,0 +1,161 @@
+"""Live-telemetry smoke test (``make stream-smoke``).
+
+Two gates in one process, mirroring the two telemetry planes:
+
+1. **Service plane** — boot a real server on an ephemeral port, open an
+   SSE subscription to a session, drive ``advance`` and assert live
+   events arrive in sequence; disconnect mid-stream and resume with
+   ``Last-Event-ID``, asserting the concatenated bytes match an
+   uninterrupted witness subscriber; check ``GET /dashboard`` serves the
+   self-contained HTML.
+2. **Sweep plane** — run a tiny sweep through the real CLI with
+   ``--progress`` and ``--telemetry``, then validate the captured JSONL
+   against the documented schema (the same validator CI uses) and assert
+   the lifecycle events are present.
+
+Exit status 0 only if every assertion held; a hang is caught by the
+overall timeout.  See ``docs/observability.md`` for the stream protocol
+and the event schema.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+import tempfile
+from pathlib import Path
+
+from ..obs.telemetry import validate_telemetry_line
+from .client import AsyncServiceClient
+from .server import SchedulerServer
+
+#: hard wall-clock cap on the whole smoke run
+SMOKE_TIMEOUT_S = 180.0
+
+
+def _task(task_id: str, submit_time: float, hp: bool = False) -> dict:
+    return {
+        "task_id": task_id,
+        "task_type": 1 if hp else 0,
+        "num_pods": 1,
+        "gpus_per_pod": 4.0,
+        "duration": 1800.0,
+        "submit_time": submit_time,
+        "org": "smoke-org",
+    }
+
+
+def _strip_heartbeats(raw: bytes) -> bytes:
+    kept = [
+        block
+        for block in raw.split(b"\n\n")
+        if block.strip() and not block.startswith(b":")
+    ]
+    return b"\n\n".join(kept) + (b"\n\n" if kept else b"")
+
+
+async def _read_until_seq(sub, seq: int, timeout: float = 15.0) -> list:
+    events = []
+    while sub.last_event_id is None or sub.last_event_id < seq:
+        event = await sub.read_event(timeout=timeout)
+        assert event is not None, "stream closed before reaching the target seq"
+        events.append(event)
+    return events
+
+
+async def _service_plane() -> None:
+    server = SchedulerServer()
+    await server.start(port=0)
+    client = AsyncServiceClient(server.host, server.port)
+    try:
+        sid = (await client.create_session(scheduler="gfs", num_nodes=8,
+                                           duration_hours=4.0))["session_id"]
+        witness = await client.open_stream(sid)
+        flaky = await client.open_stream(sid)
+        print(f"[stream-smoke] session {sid}: 2 SSE subscribers open")
+
+        await client.submit(sid, [_task(f"sm-a{i}", i * 60.0) for i in range(8)])
+        await client.advance(sid, until=1800.0)
+        mid_seq = (await client.stats(sid))["stream"]["last_seq"]
+        assert mid_seq > 0, "no events emitted by submit+advance"
+        events = await _read_until_seq(flaky, mid_seq)
+        kinds = {e["event"] for e in events}
+        assert "submit" in kinds, kinds
+        assert kinds & {"pass", "tick"}, kinds
+        await flaky.close()  # mid-stream disconnect
+
+        await client.submit(sid, [_task(f"sm-b{i}", 1800.0, hp=True) for i in range(4)])
+        await client.advance(sid)
+        end_seq = (await client.stats(sid))["stream"]["last_seq"]
+        assert end_seq > mid_seq
+
+        resumed = await client.open_stream(sid, last_event_id=flaky.last_event_id)
+        await _read_until_seq(resumed, end_seq)
+        await _read_until_seq(witness, end_seq)
+        rejoined = _strip_heartbeats(bytes(flaky.raw + resumed.raw))
+        uninterrupted = _strip_heartbeats(bytes(witness.raw))
+        assert rejoined == uninterrupted, "resume concatenation diverged from witness"
+        await resumed.close()
+        await witness.close()
+        stats = (await client.stats(sid))["stream"]
+        print(
+            f"[stream-smoke] SSE ok: {stats['last_seq']} events, lossless "
+            f"Last-Event-ID resume, drops={stats['subscriber_drops']}"
+        )
+
+        # Dashboard: served, HTML, self-contained.
+        reader, writer = await asyncio.open_connection(server.host, server.port)
+        writer.write(b"GET /dashboard HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+        await writer.drain()
+        raw = await reader.read()
+        writer.close()
+        await writer.wait_closed()
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert b" 200 " in head.split(b"\r\n")[0] + b" ", head[:80]
+        assert b"text/html" in head
+        html = body.decode("utf-8")
+        assert "EventSource" in html and "http://" not in html
+        print(f"[stream-smoke] /dashboard ok ({len(html)} bytes, self-contained)")
+    finally:
+        await client.close()
+        await server.stop()
+
+
+def _sweep_plane() -> None:
+    from ..experiments.cli import main as cli_main
+    from ..obs.telemetry import main as telemetry_main
+
+    with tempfile.TemporaryDirectory(prefix="stream-smoke-") as tmp:
+        tele_path = Path(tmp) / "sweep.jsonl"
+        rc = cli_main([
+            "sweep", "--scenario", "default", "--schedulers", "GFS,YARN-CS",
+            "--nodes", "6", "--hours", "2", "--progress",
+            "--telemetry", str(tele_path),
+        ])
+        assert rc == 0, f"sweep exited {rc}"
+        assert telemetry_main(["validate", str(tele_path)]) == 0
+        records = [
+            validate_telemetry_line(line)
+            for line in tele_path.read_text().splitlines()
+            if line.strip()
+        ]
+        events = [r["event"] for r in records]
+        assert events[0] == "sweep_start" and events[-1] == "sweep_end"
+        for expected in ("job_start", "job_done", "progress"):
+            assert expected in events, (expected, events)
+        run_ids = {r["run_id"] for r in records}
+        assert len(run_ids) == 1 and next(iter(run_ids)).startswith("sweep-")
+        seqs = [r["seq"] for r in records]
+        assert seqs == sorted(seqs) == list(range(1, len(seqs) + 1))
+        print(f"[stream-smoke] sweep telemetry ok ({len(records)} valid events)")
+
+
+def main() -> int:
+    asyncio.run(asyncio.wait_for(_service_plane(), timeout=SMOKE_TIMEOUT_S))
+    _sweep_plane()
+    print("[stream-smoke] OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,7 @@ import json
 
 import pytest
 
+from repro.obs.logging import parse_log_line
 from repro.service import AsyncServiceClient, SchedulerServer, ServiceError
 from repro.service.session import (
     SessionError,
@@ -391,14 +392,31 @@ def test_structured_access_log_lines(caplog):
 
     with caplog.at_level(logging.INFO, logger="repro.service"):
         sid = asyncio.run(_with_server(body))
-    records = [r.getMessage() for r in caplog.records if r.name == "repro.service"]
+    records = [
+        parse_log_line(r.getMessage())
+        for r in caplog.records
+        if r.name == "repro.service"
+    ]
+    requests = [r for r in records if r["event"] == "http_request"]
+    assert requests, records
+    # every request line carries the full structured vocabulary
+    for rec in requests:
+        assert rec["level"] == "info"
+        assert isinstance(rec["ts"], float)
+        assert rec["run_id"].startswith("svc-")
+        assert isinstance(rec["duration_ms"], (int, float))
     assert any(
-        "method=POST" in m and "path=/sessions" in m and "status=200" in m
-        for m in records
-    ), records
-    status_lines = [m for m in records if "method=GET" in m and f"session={sid}" in m]
-    assert status_lines and all("duration_ms=" in m for m in status_lines), records
-    assert any("status=404" in m and "session=no-such-session" in m for m in records)
+        r["method"] == "POST" and r["path"] == "/sessions" and r["status"] == 200
+        for r in requests
+    ), requests
+    status_lines = [
+        r for r in requests if r["method"] == "GET" and r.get("session_id") == sid
+    ]
+    assert status_lines, requests
+    assert any(
+        r["status"] == 404 and r.get("session_id") == "no-such-session"
+        for r in requests
+    ), requests
 
 
 def test_configure_logging_levels():
